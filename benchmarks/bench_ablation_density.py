@@ -1,0 +1,43 @@
+"""Ablation: density ρ sweep for HiTopKComm.
+
+The paper fixes ρ = 0.001 for training and 0.01 for the microbenchmarks;
+this sweep shows the cost/benefit curve those choices sit on: inter-node
+time is linear in ρ, and the dense 2DTAR cost is the ceiling the sparse
+scheme crosses as ρ → 1.
+"""
+
+from repro.cluster.cloud_presets import paper_testbed
+from repro.comm.dense import Torus2DAllReduce
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.utils.tables import format_table
+
+DENSITIES = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1)
+D = 25_000_000  # ResNet-50
+
+
+def sweep():
+    net = paper_testbed()
+    dense = Torus2DAllReduce(net, wire_bytes=2).time_model(D).total
+    rows = []
+    for rho in DENSITIES:
+        scheme = HiTopKComm(net, density=rho, value_bytes=2, dense_wire_bytes=2)
+        t = scheme.time_model(D).total
+        rows.append((rho, t, dense / t))
+    return rows, dense
+
+
+def test_bench_ablation_density(benchmark, save_result):
+    rows, dense = benchmark(sweep)
+    save_result(
+        "ablation_density",
+        format_table(
+            ["Density", "HiTopKComm (s)", "speedup vs 2DTAR"],
+            [[r, round(t, 5), round(s, 2)] for r, t, s in rows],
+            title=f"Ablation: density sweep, d = {D / 1e6:g}M, 2DTAR = {dense:.4f}s",
+        ),
+    )
+    # Monotone in density; the paper's training density is far below the
+    # crossover.
+    times = [t for _, t, _ in rows]
+    assert times == sorted(times)
+    assert rows[1][2] > 2.0  # rho = 0.001 beats dense comfortably

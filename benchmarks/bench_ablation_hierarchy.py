@@ -1,0 +1,57 @@
+"""Ablation: hierarchy vs operator — which of the paper's two ideas pays?
+
+Separates HiTopKComm's two ingredients on the cost model:
+
+* flat All-Gather + MSTopK operator (operator only);
+* hierarchical aggregation + exact top-k selection cost (hierarchy only);
+* both (the paper's scheme).
+
+The hierarchy is the larger win at cluster scale; the operator removes
+the selection bottleneck that would otherwise dominate TopK-SGD (Fig. 1).
+"""
+
+from repro.cluster.cloud_presets import paper_testbed
+from repro.cluster.gpu import exact_topk_gpu_time, mstopk_gpu_time
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.utils.tables import format_table
+
+D = 25_000_000
+RHO = 0.001
+
+
+def sweep():
+    net = paper_testbed()
+    flat = NaiveAllGather(net, density=RHO).time_model(D).total
+    hier = HiTopKComm(net, density=RHO).time_model(D)
+    hier_comm = hier.total - hier.get("mstopk")
+
+    exact_sel = exact_topk_gpu_time(D)
+    ms_sel = mstopk_gpu_time(int(D / net.gpus_per_node))
+
+    return [
+        ("flat AG + exact top-k (TopK-SGD)", flat + exact_sel),
+        ("flat AG + MSTopK (operator only)", flat + mstopk_gpu_time(D)),
+        ("hierarchy + exact top-k (hierarchy only)",
+         hier_comm + exact_topk_gpu_time(int(D / net.gpus_per_node))),
+        ("hierarchy + MSTopK (paper)", hier_comm + ms_sel),
+    ]
+
+
+def test_bench_ablation_hierarchy(benchmark, save_result):
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_hierarchy_vs_operator",
+        format_table(
+            ["Configuration", "time (s)"],
+            [[name, round(t, 5)] for name, t in rows],
+            title=f"Ablation: hierarchy vs operator, d = {D / 1e6:g}M, rho = {RHO}",
+        ),
+    )
+    by = dict(rows)
+    paper = by["hierarchy + MSTopK (paper)"]
+    # Both ingredients individually improve on the TopK-SGD baseline,
+    # and the combination beats either alone.
+    assert paper < by["flat AG + MSTopK (operator only)"]
+    assert paper < by["hierarchy + exact top-k (hierarchy only)"]
+    assert paper < by["flat AG + exact top-k (TopK-SGD)"] / 3

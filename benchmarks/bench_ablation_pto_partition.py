@@ -1,0 +1,62 @@
+"""Ablation: PTO layer-assignment strategy (contiguous vs size-balanced).
+
+The paper splits layers contiguously ("the first GPU calculates 1 to 2
+layers' learning rates, ..."); a size-balanced split reduces the slowest
+worker's byte load when layer sizes are skewed (ResNet-50's fc layer is
+2M parameters vs 128-parameter batch-norm tensors).
+"""
+
+import numpy as np
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.models.profiles import resnet50_profile
+from repro.pto.lars_pto import lars_learning_rates_pto
+from repro.utils.partition import partition_layers, partition_layers_balanced
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+
+def worst_load(assignment, sizes):
+    return max(sum(sizes[i] for i in worker) for worker in assignment if worker)
+
+
+def test_bench_ablation_pto_partition(benchmark, save_result):
+    profile = resnet50_profile()
+    sizes = list(profile.layer_sizes)
+
+    def compare():
+        rows = []
+        for p in (8, 32, 128):
+            contiguous = worst_load(partition_layers(sizes, p), sizes)
+            balanced = worst_load(partition_layers_balanced(sizes, p), sizes)
+            rows.append((p, contiguous, balanced, contiguous / balanced))
+        return rows
+
+    rows = benchmark(compare)
+    save_result(
+        "ablation_pto_partition",
+        format_table(
+            ["Workers", "contiguous worst (params)", "balanced worst", "imbalance"],
+            [[p, c, b, round(r, 2)] for p, c, b, r in rows],
+            title="Ablation: PTO layer assignment, ResNet-50 (161 tensors)",
+        ),
+    )
+    # Balanced is never worse; at 128 workers the fc layer dominates both.
+    for _, contiguous, balanced, _ in rows:
+        assert balanced <= contiguous
+
+
+def test_bench_ablation_pto_functional_equivalence(benchmark):
+    """Both assignments produce identical LARS rates."""
+    rng = new_rng(0)
+    net = make_cluster(2, "tencent", gpus_per_node=4)
+    weights = [rng.normal(size=s) for s in (64, 2048, 16, 512, 8, 1024)]
+    grads = [rng.normal(size=w.size) for w in weights]
+
+    def both():
+        a = lars_learning_rates_pto(net, weights, grads, eta=0.1).result
+        b = lars_learning_rates_pto(net, weights, grads, eta=0.1, balanced=True).result
+        return a, b
+
+    a, b = benchmark(both)
+    np.testing.assert_allclose(a, b)

@@ -1,0 +1,54 @@
+"""Ablation: cluster-size scaling of the aggregation schemes.
+
+Sweeps node count m at fixed n = 8 GPUs/node: the flat sparse scheme's
+per-NIC volume grows with m·n while HiTopKComm's grows only with m·ρ —
+the gap that makes the hierarchy matter more the bigger the cluster.
+"""
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.comm.dense import Torus2DAllReduce, TreeAllReduce
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.utils.tables import format_table
+
+NODE_COUNTS = (2, 4, 8, 16, 32)
+D = 25_000_000
+RHO = 0.01
+
+
+def sweep():
+    rows = []
+    for m in NODE_COUNTS:
+        net = make_cluster(m, "tencent")
+        rows.append(
+            (
+                m,
+                NaiveAllGather(net, density=RHO, value_bytes=2).time_model(D).total,
+                TreeAllReduce(net, wire_bytes=2).time_model(D).total,
+                Torus2DAllReduce(net, wire_bytes=2).time_model(D).total,
+                HiTopKComm(
+                    net, density=RHO, value_bytes=2, dense_wire_bytes=2
+                ).time_model(D).total,
+            )
+        )
+    return rows
+
+
+def test_bench_ablation_scaling(benchmark, save_result):
+    rows = benchmark(sweep)
+    save_result(
+        "ablation_cluster_scaling",
+        format_table(
+            ["Nodes", "NaiveAG", "TreeAR", "2DTAR", "HiTopKComm"],
+            [[m] + [round(t, 4) for t in ts] for m, *ts in rows],
+            title=f"Ablation: node-count scaling (n=8 GPUs/node), d={D / 1e6:g}M, rho={RHO}",
+        ),
+    )
+    naive = {m: t for m, t, _, _, _ in rows}
+    hitopk = {m: t for m, _, _, _, t in rows}
+    # NaiveAG degrades ~linearly in total GPU count (P = 8m); HiTopKComm
+    # only in node count scaled by rho, so it grows much more slowly.
+    assert naive[32] / naive[2] > 8
+    assert hitopk[32] / hitopk[2] < naive[32] / naive[2] / 2
+    # The advantage widens with scale.
+    assert naive[32] / hitopk[32] > naive[2] / hitopk[2]

@@ -1,0 +1,42 @@
+"""Efficiency-vs-cluster-size curves + the §1 motivation number."""
+
+from repro.perf.efficiency import efficiency_sweep, intro_claim
+from repro.utils.tables import format_table
+
+
+def test_bench_intro_claim(benchmark, save_result):
+    point = benchmark(intro_claim)
+    save_result(
+        "intro_claim",
+        f"Paper §1: baseline 128-GPU speedup ~40x (31% efficiency)\n"
+        f"Model:    {point.speedup:.1f}x speedup "
+        f"({100 * point.efficiency:.1f}% efficiency), "
+        f"throughput {point.throughput:,.0f} samples/s",
+    )
+    assert 30 < point.speedup < 60
+
+
+def test_bench_efficiency_sweep(benchmark, save_result):
+    points = benchmark(efficiency_sweep)
+    by_nodes: dict[int, dict[str, float]] = {}
+    for p in points:
+        by_nodes.setdefault(p.num_nodes, {})[p.scheme] = p.efficiency
+    schemes = ["Dense-SGD", "2DTAR-SGD", "MSTopK-SGD"]
+    rows = [
+        [nodes, nodes * 8] + [round(100 * by_nodes[nodes][s], 1) for s in schemes]
+        for nodes in sorted(by_nodes)
+    ]
+    save_result(
+        "efficiency_sweep",
+        format_table(
+            ["Nodes", "GPUs"] + [f"{s} SE%" for s in schemes],
+            rows,
+            title="Scaling efficiency vs cluster size, ResNet-50 224x224",
+        ),
+    )
+    # The gap between baseline and the paper's system widens with scale.
+    small = by_nodes[min(by_nodes)]
+    large = by_nodes[max(by_nodes)]
+    assert (large["MSTopK-SGD"] - large["Dense-SGD"]) > (
+        small["MSTopK-SGD"] - small["Dense-SGD"]
+    ) - 0.05

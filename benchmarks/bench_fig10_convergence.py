@@ -1,0 +1,54 @@
+"""Fig. 10: convergence curves of Dense / TopK / MSTopK SGD."""
+
+import pytest
+
+from repro.train.convergence import ConvergenceRunner
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def curves(save_result):
+    """One moderate run, reused by the assertions and the artefact."""
+    runner = ConvergenceRunner(
+        num_nodes=4, gpus_per_node=2, epochs=12, num_samples=1024, seed=7
+    )
+    results = {w: runner.run(w) for w in ("mlp", "cnn")}
+    sections = []
+    for workload, result in results.items():
+        algorithms = list(result.reports)
+        epochs = len(result.reports[algorithms[0]].val_metrics)
+        rows = [
+            [e] + [round(result.reports[a].val_metrics[e], 4) for a in algorithms]
+            for e in range(epochs)
+        ]
+        sections.append(
+            format_table(
+                ["Epoch"] + algorithms,
+                rows,
+                title=f"Fig. 10 ({workload}): validation accuracy per epoch",
+            )
+        )
+    save_result("fig10_convergence", "\n\n".join(sections))
+    return results
+
+
+def test_bench_fig10_single_epoch(benchmark, curves):
+    """Wall-clock of one distributed MLP epoch under MSTopK-SGD."""
+    runner = ConvergenceRunner(
+        num_nodes=2, gpus_per_node=2, epochs=1, num_samples=512, seed=3
+    )
+    result = benchmark(lambda: runner.run("mlp", algorithms=("mstopk",), epochs=1))
+    assert result.reports["mstopk"].iterations > 0
+
+
+def test_bench_fig10_claims(benchmark, curves):
+    """The paper's convergence claims hold in the saved curves."""
+
+    def check():
+        for workload, result in curves.items():
+            dense = result.final("dense")
+            assert result.final("topk") <= dense + 0.05, workload
+            assert result.final("mstopk") <= dense + 0.05, workload
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,30 @@
+"""Fig. 1: iteration time breakdown of the existing training schemes."""
+
+from repro.experiments import fig1_breakdown
+from repro.utils.tables import format_table
+
+
+def test_bench_fig1_run(benchmark, save_result):
+    """Full Fig. 1 harness (4 bars x 5 components)."""
+    bars = benchmark(fig1_breakdown.run)
+    assert len(bars) == 4
+
+    rows = [
+        [f"{b.scheme} {b.resolution}x{b.resolution}"]
+        + [round(b.components[c], 4) for c in fig1_breakdown.COMPONENTS]
+        + [round(b.total, 4)]
+        for b in bars
+    ]
+    save_result(
+        "fig1_breakdown",
+        format_table(
+            ["Scheme", "I/O", "FF&BP", "Compression", "Communication", "LARS", "Total"],
+            rows,
+            title="Fig. 1: iteration time breakdown (s), ResNet-50, 128 GPUs",
+        ),
+    )
+
+    # The paper's headline observation must hold in the saved artefact.
+    by_key = {(b.scheme, b.resolution): b for b in bars}
+    topk224 = by_key[("TopK-SGD", 224)]
+    assert topk224.components["compression"] > topk224.components["ff_bp"]

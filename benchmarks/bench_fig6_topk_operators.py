@@ -1,0 +1,78 @@
+"""Fig. 6: top-k operator comparison — real wall-clock benchmarks.
+
+These are the only benches measuring *actual* kernel time (the
+operators are real NumPy code); the saved artefact adds the V100
+projections used for the paper-shape comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.dgc import DGCTopK
+from repro.compression.exact_topk import naive_topk_sort, topk_argpartition
+from repro.compression.mstopk import mstopk_select
+from repro.experiments import fig6_topk_ops
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+D = 2_000_000
+K = 2_000  # k = 0.001 d, the paper's ratio
+
+
+@pytest.fixture(scope="module")
+def vector():
+    return new_rng(0).normal(size=D)
+
+
+def test_bench_fig6_nn_topk_sort(benchmark, vector):
+    """The naive full-sort selection (the 'nn.topk' analogue)."""
+    sv = benchmark(naive_topk_sort, vector, K)
+    assert sv.nnz == K
+
+
+def test_bench_fig6_dgc_double_sampling(benchmark, vector):
+    """DGC double-sampling selection."""
+    dgc = DGCTopK(sample_fraction=0.01)
+    rng = new_rng(1)
+    sv = benchmark(lambda: dgc.select(vector, K, rng=rng))
+    assert sv.nnz == K
+
+
+def test_bench_fig6_mstopk(benchmark, vector):
+    """MSTopK (Algorithm 1), 30 samplings."""
+    rng = new_rng(2)
+    sv = benchmark(lambda: mstopk_select(vector, K, n_samplings=30, rng=rng))
+    assert sv.nnz == K
+
+
+def test_bench_fig6_argpartition_reference(benchmark, vector):
+    """Efficient exact CPU selection, for context."""
+    sv = benchmark(topk_argpartition, vector, K)
+    assert sv.nnz == K
+
+
+def test_bench_fig6_harness_table(benchmark, save_result):
+    """Full sweep (measured CPU + projected V100) saved to results/."""
+    rows = benchmark.pedantic(
+        fig6_topk_ops.run,
+        kwargs={"sizes": (256_000, 1_000_000, 4_000_000), "repeats": 2, "warmup": 1},
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        [
+            r.operator,
+            f"{r.d / 1e6:g}M",
+            "-" if r.cpu_seconds is None else round(r.cpu_seconds, 4),
+            round(r.gpu_projected, 5),
+        ]
+        for r in rows
+    ]
+    save_result(
+        "fig6_topk_operators",
+        format_table(
+            ["Operator", "Elements", "CPU measured (s)", "V100 projected (s)"],
+            table,
+            title="Fig. 6: top-k operator time, k = 0.001 d, 30 samplings",
+        ),
+    )

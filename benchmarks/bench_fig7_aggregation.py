@@ -1,0 +1,73 @@
+"""Fig. 7: aggregation time of NaiveAG / TreeAR / 2DTAR / HiTopKComm."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.experiments import fig7_aggregation
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+
+def test_bench_fig7_cost_sweep(benchmark, save_result):
+    """The analytic Fig. 7 sweep on the 16x8 testbed."""
+    points = benchmark(fig7_aggregation.run)
+    by_size = {}
+    for p in points:
+        by_size.setdefault(p.d, {})[p.scheme] = p.seconds
+    scheme_names = ["NaiveAG", "TreeAR", "2DTAR", "HiTopKComm"]
+    rows = [
+        [f"{d / 1e6:g}M"] + [round(by_size[d][s], 4) for s in scheme_names]
+        for d in sorted(by_size)
+    ]
+    save_result(
+        "fig7_aggregation",
+        format_table(
+            ["Elements"] + scheme_names,
+            rows,
+            title="Fig. 7: aggregation time (s), 16x8 V100, 25GbE, FP16, rho=0.01",
+        ),
+    )
+    # Ordering at the largest size.
+    largest = by_size[max(by_size)]
+    assert (
+        largest["HiTopKComm"] < largest["2DTAR"] < largest["TreeAR"] < largest["NaiveAG"]
+    )
+
+
+@pytest.fixture(scope="module")
+def functional_setup():
+    net = make_cluster(2, "tencent", gpus_per_node=4)
+    rng = new_rng(0)
+    grads = [rng.normal(size=20_000) for _ in range(8)]
+    return net, grads, rng
+
+
+def test_bench_fig7_functional_hitopk(benchmark, functional_setup):
+    """Functional HiTopKComm aggregation (data actually moves)."""
+    from repro.comm.hitopkcomm import HiTopKComm
+
+    net, grads, rng = functional_setup
+    scheme = HiTopKComm(net, density=0.01, error_feedback=False)
+    result = benchmark(lambda: scheme.aggregate(grads, rng=rng))
+    assert len(result.outputs) == 8
+
+
+def test_bench_fig7_functional_2dtar(benchmark, functional_setup):
+    """Functional 2D-torus all-reduce."""
+    from repro.comm.dense import Torus2DAllReduce
+
+    net, grads, _ = functional_setup
+    scheme = Torus2DAllReduce(net)
+    result = benchmark(lambda: scheme.aggregate(grads))
+    np.testing.assert_allclose(result.outputs[0], np.sum(grads, axis=0))
+
+
+def test_bench_fig7_functional_naiveag(benchmark, functional_setup):
+    """Functional sparse all-gather aggregation."""
+    from repro.comm.naive_allgather import NaiveAllGather
+
+    net, grads, rng = functional_setup
+    scheme = NaiveAllGather(net, density=0.01, error_feedback=False)
+    result = benchmark(lambda: scheme.aggregate(grads, rng=rng))
+    assert len(result.outputs) == 8

@@ -1,0 +1,43 @@
+"""Fig. 8: HiTopKComm per-step breakdown vs density."""
+
+from repro.experiments import fig8_hitopk_breakdown
+from repro.utils.tables import format_table
+
+
+def test_bench_fig8_breakdown(benchmark, save_result):
+    points = benchmark(fig8_hitopk_breakdown.run)
+    assert len(points) == 8  # 2 models x 4 densities
+
+    sections = []
+    for model_name, d in fig8_hitopk_breakdown.MODELS:
+        rows = [
+            [p.density]
+            + [round(p.breakdown.get(s) * 1000, 3) for s in fig8_hitopk_breakdown.STEPS]
+            + [round(p.breakdown.total * 1000, 3)]
+            for p in points
+            if p.model == model_name
+        ]
+        sections.append(
+            format_table(
+                ["Density", "ReduceScatter", "MSTopK", "Inter-AG", "Intra-AG", "Total"],
+                rows,
+                title=f"Fig. 8 ({model_name}, {d / 1e6:g}M params, times in ms)",
+            )
+        )
+    save_result("fig8_hitopk_breakdown", "\n\n".join(sections))
+
+    # Inter-node All-Gather dominates at training densities.
+    for p in points:
+        if p.density >= 0.01:
+            assert p.breakdown.get("inter_allgather") == max(
+                p.breakdown.steps.values()
+            )
+
+
+def test_bench_fig8_single_time_model(benchmark, testbed_model=None):
+    from repro.cluster.cloud_presets import paper_testbed
+    from repro.comm.hitopkcomm import HiTopKComm
+
+    scheme = HiTopKComm(paper_testbed(), density=0.01)
+    breakdown = benchmark(scheme.time_model, 25_000_000)
+    assert breakdown.total > 0

@@ -1,0 +1,53 @@
+"""Fig. 9: DataCache vs naive input pipeline."""
+
+from repro.data.cache import DataCache
+from repro.data.dataset import SyntheticImageDataset
+from repro.data.loader import CachedDataLoader
+from repro.experiments import fig9_datacache
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+
+def test_bench_fig9_model_bars(benchmark, save_result):
+    bars = benchmark(fig9_datacache.run_model)
+    naive, cached = bars
+    save_result(
+        "fig9_datacache",
+        format_table(
+            ["Scheme", "I/O (s)", "Others (s)", "Total (s)"],
+            [
+                [b.label, round(b.io_seconds, 4), round(b.other_seconds, 4), round(b.total, 4)]
+                for b in bars
+            ],
+            title="Fig. 9: iteration time w/o and w/ DataCache (1 V100, 96x96)",
+        )
+        + (
+            f"\nI/O reduction: {naive.io_seconds / cached.io_seconds:.1f}x, "
+            f"end-to-end: {naive.total / cached.total:.2f}x"
+        ),
+    )
+    assert naive.io_seconds / cached.io_seconds > 10
+
+
+def test_bench_fig9_functional_epoch_cold(benchmark):
+    """First epoch: NFS reads + decode through the real cache."""
+
+    def cold_epoch():
+        dataset = SyntheticImageDataset(64, resolution=24, seed=0)
+        cache = DataCache(dataset)
+        loader = CachedDataLoader(cache, 16, pipelined=False, seed=0)
+        return loader.run_epoch(0, rng=new_rng(1))
+
+    timings = benchmark(cold_epoch)
+    assert timings.io_seconds > 0
+
+
+def test_bench_fig9_functional_epoch_warm(benchmark):
+    """Second epoch: memory-cache hits only."""
+    dataset = SyntheticImageDataset(64, resolution=24, seed=0)
+    cache = DataCache(dataset)
+    loader = CachedDataLoader(cache, 16, pipelined=False, seed=0)
+    loader.run_epoch(0, rng=new_rng(1))  # warm it
+
+    timings = benchmark(lambda: loader.run_epoch(1, rng=new_rng(2)))
+    assert timings.level_counts["memory"] > 0

@@ -1,0 +1,59 @@
+"""Extension bench: gTop-k vs NaiveAG vs HiTopKComm.
+
+gTop-k (Shi et al. 2019c) is the related-work alternative the paper
+cites for sparse aggregation; this bench places it between the flat
+All-Gather baseline and the paper's hierarchical scheme on both cost
+and functional behaviour.
+"""
+
+import numpy as np
+
+from repro.cluster.cloud_presets import make_cluster, paper_testbed
+from repro.comm.gtopk import GlobalTopK
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+RHO = 0.001
+SIZES = (10_000_000, 50_000_000, 100_000_000)
+
+
+def cost_sweep():
+    net = paper_testbed()
+    rows = []
+    for d in SIZES:
+        rows.append(
+            (
+                d,
+                NaiveAllGather(net, density=RHO).time_model(d).total,
+                GlobalTopK(net, density=RHO).time_model(d).total,
+                HiTopKComm(net, density=RHO).time_model(d).total,
+            )
+        )
+    return rows
+
+
+def test_bench_gtopk_cost(benchmark, save_result):
+    rows = benchmark(cost_sweep)
+    save_result(
+        "extension_gtopk_cost",
+        format_table(
+            ["Elements", "NaiveAG", "gTopK", "HiTopKComm"],
+            [[f"{d / 1e6:g}M"] + [round(t, 4) for t in ts] for d, *ts in rows],
+            title=f"Extension: sparse aggregation cost, rho = {RHO}, 16x8 testbed",
+        ),
+    )
+    for _, naive, gtopk, hitopk in rows:
+        # gTop-k beats the flat All-Gather (log P rounds of k vs P·k
+        # volume); the hierarchical scheme wins overall at this scale.
+        assert gtopk < naive
+
+
+def test_bench_gtopk_functional(benchmark):
+    net = make_cluster(2, "tencent", gpus_per_node=4)
+    rng = new_rng(0)
+    grads = [rng.normal(size=20_000) for _ in range(8)]
+    scheme = GlobalTopK(net, density=0.01, error_feedback=False)
+    result = benchmark(lambda: scheme.aggregate(grads, rng=rng))
+    assert np.count_nonzero(result.outputs[0]) <= result.extras["k"]

@@ -1,0 +1,55 @@
+"""§5.4: PTO speedup on LARS — cost model + functional benches."""
+
+import numpy as np
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.experiments import pto_speedup
+from repro.optim.lars import lars_coefficients
+from repro.pto.lars_pto import lars_learning_rates_pto
+from repro.utils.seeding import new_rng
+from repro.utils.tables import format_table
+
+
+def test_bench_pto_cost_model(benchmark, save_result):
+    rows = benchmark(pto_speedup.run)
+    table = []
+    for r in rows:
+        paper_serial, paper_pto = pto_speedup.PAPER_PTO[r.model]
+        table.append(
+            [r.model, round(r.serial_ms, 1), paper_serial, round(r.pto_ms, 1),
+             paper_pto, f"{r.speedup:.2f}x"]
+        )
+    save_result(
+        "pto_speedup",
+        format_table(
+            ["Model", "Serial (ms)", "paper", "PTO (ms)", "paper", "Speedup"],
+            table,
+            title="PTO speedup on LARS computation, 128 GPUs (paper §5.4)",
+        ),
+    )
+    assert all(r.speedup > 1.3 for r in rows)
+
+
+def _make_layers(n_layers=161, size=2048):
+    rng = new_rng(0)
+    weights = [rng.normal(size=size) for _ in range(n_layers)]
+    grads = [rng.normal(size=size) for _ in range(n_layers)]
+    return weights, grads
+
+
+def test_bench_pto_functional_serial_lars(benchmark):
+    """Serial LARS over a 161-layer inventory (the Eq. 11 loop)."""
+    weights, grads = _make_layers()
+    rates = benchmark(lars_coefficients, weights, grads, eta=0.1)
+    assert rates.size == 161
+
+
+def test_bench_pto_functional_parallel_lars(benchmark):
+    """PTO-LARS over the same inventory on a virtual 2x4 cluster."""
+    weights, grads = _make_layers()
+    net = make_cluster(2, "tencent", gpus_per_node=4)
+    result = benchmark(
+        lambda: lars_learning_rates_pto(net, weights, grads, eta=0.1)
+    )
+    serial = lars_coefficients(weights, grads, eta=0.1)
+    np.testing.assert_allclose(result.result, serial)

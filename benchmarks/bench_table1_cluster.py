@@ -1,0 +1,25 @@
+"""Table 1: cloud instance presets + cluster construction cost."""
+
+from repro.cluster.cloud_presets import make_cluster, paper_testbed
+from repro.experiments import table1_instances
+from repro.utils.tables import format_table
+
+
+def test_bench_table1_build_testbed(benchmark, save_result):
+    """Build the 16x8 paper testbed (topology + links)."""
+    net = benchmark(paper_testbed)
+    assert net.world_size == 128
+    save_result(
+        "table1_instances",
+        format_table(
+            ["Cloud", "Instance", "Memory (GiB)", "Storage", "Network (Gbps)"],
+            table1_instances.run(),
+            title="Table 1: 8 V100 GPUs computing instances on clouds",
+        ),
+    )
+
+
+def test_bench_table1_cluster_factory(benchmark):
+    """make_cluster by preset name."""
+    net = benchmark(make_cluster, 8, "aliyun")
+    assert net.num_nodes == 8

@@ -1,0 +1,59 @@
+"""Table 2: final validation metrics under the three algorithms."""
+
+import pytest
+
+from repro.experiments import table2_validation
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(save_result):
+    rows = table2_validation.run(epochs=12, num_samples=1024, seed=7)
+    table = []
+    for r in rows:
+        paper = table2_validation.PAPER_TABLE2[r.model]
+        table.append(
+            [
+                f"{r.model} ({r.workload})",
+                round(r.dense, 4), paper["dense"],
+                round(r.topk, 4), paper["topk"],
+                round(r.mstopk, 4), paper["mstopk"],
+            ]
+        )
+    save_result(
+        "table2_validation",
+        format_table(
+            ["Model", "Dense", "paper", "TopK", "paper", "MSTopK", "paper"],
+            table,
+            title="Table 2: final validation metric (ours: analogue scale)",
+        ),
+    )
+    return rows
+
+
+def test_bench_table2_sparse_trails_dense(benchmark, rows):
+    def check():
+        for r in rows:
+            assert r.topk <= r.dense + 0.08, r.model
+            assert r.mstopk <= r.dense + 0.08, r.model
+        return len(rows)
+
+    assert benchmark(check) == 3
+
+
+def test_bench_table2_one_transformer_step(benchmark):
+    """Wall-clock of a single distributed Transformer training step."""
+    from repro.cluster.cloud_presets import make_cluster
+    from repro.models.nn.transformer import TinyTransformer, make_copy_task
+    from repro.train.algorithms import make_scheme
+    from repro.train.trainer import DistributedTrainer
+    from repro.utils.seeding import new_rng
+
+    rng = new_rng(0)
+    x, y = make_copy_task(rng, num_samples=64, vocab_size=16, seq_len=8)
+    model = TinyTransformer(vocab_size=16, d_model=16, d_ff=32, max_len=8)
+    net = make_cluster(2, "tencent", gpus_per_node=2)
+    trainer = DistributedTrainer(model, make_scheme("mstopk", net, density=0.1), seed=0)
+    batches = [(x[w * 8 : (w + 1) * 8], y[w * 8 : (w + 1) * 8]) for w in range(4)]
+    loss, _ = benchmark(trainer.train_step, batches)
+    assert loss > 0

@@ -1,0 +1,38 @@
+"""Table 4: DAWNBench-schedule throughput per input resolution."""
+
+from repro.experiments import table4_resolutions
+from repro.perf.dawnbench import PAPER_TABLE4
+from repro.utils.tables import format_table
+
+
+def test_bench_table4(benchmark, save_result):
+    results = benchmark(table4_resolutions.run)
+    assert [r.phase.resolution for r in results] == [96, 128, 224, 288]
+
+    rows = []
+    for r in results:
+        paper_single, paper_sys, paper_se = PAPER_TABLE4[r.phase.resolution]
+        rows.append(
+            [
+                r.phase.epochs,
+                f"{r.phase.resolution}x{r.phase.resolution}",
+                r.phase.local_batch,
+                round(r.single_gpu_throughput),
+                round(r.system_throughput),
+                round(paper_sys),
+                round(100 * r.scaling_efficiency, 1),
+                paper_se,
+            ]
+        )
+    save_result(
+        "table4_resolutions",
+        format_table(
+            ["Epochs", "Input", "BS", "1-GPU", "128-GPU", "paper", "SE %", "paper"],
+            rows,
+            title="Table 4: throughput per input resolution (DAWNBench schedule)",
+        ),
+    )
+
+    for r in results:
+        _, paper_sys, _ = PAPER_TABLE4[r.phase.resolution]
+        assert abs(r.system_throughput - paper_sys) / paper_sys < 0.25

@@ -1,0 +1,38 @@
+"""Table 5: DAWNBench time-to-93% record run + schedule ablations."""
+
+from repro.experiments import table5_dawnbench
+from repro.perf.dawnbench import DAWNBENCH_LEADERBOARD, PAPER_RECORD_SECONDS
+from repro.utils.tables import format_table
+
+
+def test_bench_table5(benchmark, save_result):
+    outcome = benchmark(table5_dawnbench.run)
+
+    rows = [
+        [e.team, e.date, e.interconnect, round(e.seconds)]
+        for e in DAWNBENCH_LEADERBOARD
+    ]
+    rows.append(
+        ["Ours (simulated)", "Aug 2020", "25GbE", round(outcome.record.total_seconds)]
+    )
+    rows.append(["Ours (paper)", "Aug 2020", "25GbE", round(PAPER_RECORD_SECONDS)])
+    extra = (
+        f"\nrecord: {outcome.record.total_seconds:.1f}s "
+        f"(top-5 {100 * outcome.record.final_top5:.2f}%)"
+        f"\nablation all-2DTAR:  {outcome.all_dense.total_seconds:.1f}s"
+        f"\nablation all-MSTopK: {outcome.all_sparse.total_seconds:.1f}s "
+        f"(top-5 {100 * outcome.all_sparse.final_top5:.2f}% — misses target)"
+    )
+    save_result(
+        "table5_dawnbench",
+        format_table(
+            ["Team", "Date", "Interconnect", "Time (s)"],
+            rows,
+            title="Table 5: time to 93% top-5 with 128 V100 GPUs",
+        )
+        + extra,
+    )
+
+    assert outcome.record.reached_target
+    assert outcome.record.total_seconds < 160
+    assert not outcome.all_sparse.reached_target

@@ -1,0 +1,39 @@
+"""Benchmark-suite fixtures.
+
+Every bench regenerates one paper table/figure: it saves the rendered
+table under ``results/`` (so the artefacts survive the run) and times a
+representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.utils.seeding import new_rng
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """``save_result(name, text)`` writes one artefact under results/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def rng():
+    return new_rng(2024)

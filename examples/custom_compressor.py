@@ -1,0 +1,91 @@
+"""Extending CommLib: plug a custom selection operator into HiTopKComm.
+
+The compressor interface (:class:`repro.compression.TopKCompressor`) is
+the extension point: anything that returns exactly ``k`` entries can
+ride the hierarchical pipeline, error feedback included.  This example
+implements a *threshold-EMA* selector — it reuses last round's threshold
+as the starting estimate (one fewer pass than MSTopK in steady state) —
+and compares convergence against the built-ins.
+
+Run:  python examples/custom_compressor.py
+"""
+
+import numpy as np
+
+from repro.cluster import make_cluster
+from repro.collectives.sparse import SparseVector
+from repro.comm import HiTopKComm
+from repro.compression import MSTopK, TopKCompressor
+from repro.compression.exact_topk import topk_argpartition
+from repro.models.nn.mlp import MLPClassifier
+from repro.optim import SGD
+from repro.train import DistributedTrainer
+from repro.train.synthetic import make_spiral_classification, train_val_split
+from repro.utils.seeding import RandomState, new_rng
+
+
+class EmaThresholdTopK(TopKCompressor):
+    """Top-k via an exponentially smoothed threshold estimate.
+
+    Keeps the previous round's selection threshold; each call refines it
+    with a couple of counting passes and falls back to exact selection
+    among the candidates — a practical trick several production systems
+    use between full re-estimations.
+    """
+
+    name = "EmaTopK"
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        self.momentum = momentum
+        self._threshold: dict[int, float] = {}
+
+    def select(self, x: np.ndarray, k: int, *, rng: RandomState | None = None) -> SparseVector:
+        x = self._validate(x, k)
+        if k == 0 or k == x.size:
+            return topk_argpartition(x, k)
+        magnitude = np.abs(x)
+        key = x.size
+        estimate = self._threshold.get(key)
+        if estimate is None or np.count_nonzero(magnitude >= estimate) < k:
+            # Cold start / undershoot: exact threshold this round.
+            sv = topk_argpartition(x, k)
+            new_threshold = float(np.abs(sv.values).min())
+        else:
+            candidates = np.flatnonzero(magnitude >= estimate)
+            sub = topk_argpartition(x[candidates], k)
+            sv = SparseVector(sub.values, candidates[sub.indices], x.size)
+            new_threshold = float(np.abs(sv.values).min())
+        old = self._threshold.get(key, new_threshold)
+        self._threshold[key] = self.momentum * old + (1 - self.momentum) * new_threshold
+        return sv
+
+
+def main() -> None:
+    net = make_cluster(2, "tencent", gpus_per_node=4)
+    rng = new_rng(0)
+    x, y = make_spiral_classification(1024, num_classes=4, rng=rng)
+    train_x, train_y, val_x, val_y = train_val_split(x, y)
+
+    print("training the same model with three selection operators inside "
+          "HiTopKComm (density 5%):\n")
+    for compressor in (None, MSTopK(), EmaThresholdTopK()):
+        scheme = HiTopKComm(net, density=0.05, compressor=compressor)
+        model = MLPClassifier(input_dim=2, hidden=(48, 48), num_classes=4)
+        trainer = DistributedTrainer(
+            model, scheme, optimizer=SGD(lr=0.05, momentum=0.9), seed=7
+        )
+        report = trainer.train(
+            train_x, train_y, epochs=10, local_batch=16,
+            val_x=val_x, val_y=val_y,
+            evaluate=lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1),
+        )
+        name = scheme.compressor.name
+        print(f"  {name:<12s} final val accuracy: {report.final_val_metric:.4f} "
+              f"(virtual comm: {report.comm_seconds * 1000:.1f} ms)")
+
+    print("\nany exactly-k selector converges through the hierarchy + error "
+          "feedback;\nthe operator choice trades selection cost for recall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Scenario: the multi-level DataCache across runs and epochs (paper §4.1).
+
+Drives the *real* cache implementation (actual synthetic-JPEG payloads,
+actual decode + augment work, virtual-time storage tiers) through the
+paper's three situations:
+
+* run 1, epoch 1 — everything comes from NFS, decode burns CPU;
+* run 1, epoch 2+ — the in-memory KV store of pre-processed samples
+  serves everything;
+* run 2 (hyper-parameter retune) — a fresh process finds the encoded
+  files in the local FS cache, skipping NFS.
+
+Run:  python examples/datacache_pipeline.py
+"""
+
+from repro.data import DataCache, CachedDataLoader, SyntheticImageDataset
+from repro.data.storage import LocalDiskStore, MemoryStore
+from repro.utils.seeding import new_rng
+from repro.utils.tables import print_table
+
+
+def run_epochs(label: str, loader: CachedDataLoader, epochs: int, rows: list) -> None:
+    rng = new_rng(42)
+    for epoch in range(epochs):
+        before = (
+            loader.cache.stats.nfs_reads,
+            loader.cache.stats.disk_hits,
+            loader.cache.stats.memory_hits,
+        )
+        timings = loader.run_epoch(epoch, gpu_seconds_per_iteration=0.02, rng=rng)
+        after = (
+            loader.cache.stats.nfs_reads,
+            loader.cache.stats.disk_hits,
+            loader.cache.stats.memory_hits,
+        )
+        delta = tuple(a - b for a, b in zip(after, before))
+        rows.append(
+            [
+                f"{label} / epoch {epoch + 1}",
+                delta[0],
+                delta[1],
+                delta[2],
+                round(timings.io_seconds, 4),
+                round(timings.visible_seconds, 4),
+            ]
+        )
+
+
+def main() -> None:
+    dataset = SyntheticImageDataset(256, resolution=48, num_classes=10, seed=0)
+    print(f"dataset: {len(dataset)} synthetic JPEGs of "
+          f"{dataset.encoded_sample_bytes} bytes each\n")
+
+    # The local SSD persists across runs; memory does not.
+    shared_disk = LocalDiskStore()
+    rows: list = []
+
+    cache1 = DataCache(dataset, local_disk=shared_disk)
+    loader1 = CachedDataLoader(cache1, batch_size=32, decode_workers=2, seed=0)
+    run_epochs("run 1", loader1, epochs=2, rows=rows)
+
+    # Second run: same disk cache, fresh memory (new process).
+    cache2 = DataCache(dataset, local_disk=shared_disk, memory=MemoryStore())
+    loader2 = CachedDataLoader(cache2, batch_size=32, decode_workers=2, seed=0)
+    run_epochs("run 2", loader2, epochs=2, rows=rows)
+
+    print_table(
+        ["Phase", "NFS reads", "disk hits", "memory hits", "I/O (s)", "visible (s)"],
+        rows,
+        title="DataCache behaviour across epochs and runs (virtual time)",
+    )
+    print(
+        "epoch 1 of run 1 pays NFS + decode; epoch 2 is served from memory;\n"
+        "run 2's first epoch skips NFS via the local FS cache (paper Fig. 5)."
+    )
+
+    # Sharded deployment: the dataset split across 4 nodes' memory.
+    print("\nsharded memory caches (4 nodes):")
+    total = 0
+    for node in range(4):
+        cache = DataCache(dataset, node=node, num_nodes=4)
+        owned = sum(cache.owns(i) for i in range(len(dataset)))
+        total += owned
+        print(f"  node {node}: owns {owned} samples")
+    print(f"  total = {total} (== dataset size, no overlap)")
+
+
+if __name__ == "__main__":
+    main()

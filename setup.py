@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP-517 editable
+installs; on offline machines without it, ``python setup.py develop``
+provides the same editable install through setuptools alone.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,8 @@
+"""``python -m repro`` — run the full reproduction harness."""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

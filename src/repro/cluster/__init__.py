@@ -1,0 +1,63 @@
+"""Virtual public-cloud GPU cluster substrate.
+
+The paper's testbed is 16 Tencent Cloud instances, each with 8 Tesla
+V100-32GB GPUs on NVLink, connected by 25 Gbps Ethernet (paper §5.1,
+Table 1).  This package models that environment:
+
+* :mod:`repro.cluster.links` — link specifications (latency ``alpha`` and
+  per-byte transfer time ``beta``), with NVLink / PCIe / Ethernet presets.
+* :mod:`repro.cluster.topology` — the ``m`` nodes × ``n`` GPUs/node grid,
+  rank arithmetic, and device naming.
+* :mod:`repro.cluster.cloud_presets` — the three public-cloud instance
+  types from Table 1 (AWS p3.16xlarge, Aliyun c10g1.20xlarge, Tencent
+  18XLARGE320) plus cluster factory helpers.
+* :mod:`repro.cluster.network` — the alpha–beta cost model with NIC
+  sharing between concurrent inter-node streams.
+"""
+
+from repro.cluster.cloud_presets import (
+    ALIYUN_GN10X,
+    AWS_P3_16XLARGE,
+    CLOUD_INSTANCES,
+    TENCENT_18XLARGE320,
+    CloudInstance,
+    make_cluster,
+    paper_testbed,
+)
+from repro.cluster.links import (
+    ETHERNET_10G,
+    ETHERNET_25G,
+    ETHERNET_32G,
+    INFINIBAND_100G,
+    LinkSpec,
+    NVLINK_V100,
+    PCIE_GEN3,
+)
+from repro.cluster.gpu import GpuSpec, V100
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import ClusterTopology, Device
+from repro.cluster.variability import VariabilityModel, expected_slowdown
+
+__all__ = [
+    "LinkSpec",
+    "NVLINK_V100",
+    "PCIE_GEN3",
+    "ETHERNET_10G",
+    "ETHERNET_25G",
+    "ETHERNET_32G",
+    "INFINIBAND_100G",
+    "ClusterTopology",
+    "Device",
+    "NetworkModel",
+    "CloudInstance",
+    "CLOUD_INSTANCES",
+    "AWS_P3_16XLARGE",
+    "ALIYUN_GN10X",
+    "TENCENT_18XLARGE320",
+    "make_cluster",
+    "paper_testbed",
+    "GpuSpec",
+    "V100",
+    "VariabilityModel",
+    "expected_slowdown",
+]

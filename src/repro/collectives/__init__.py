@@ -1,0 +1,55 @@
+"""Functional collective operations over simulated workers.
+
+Each collective takes the per-worker inputs as a ``list`` (indexed by
+rank) of NumPy arrays and returns the per-worker outputs as a list, with
+no real networking involved — the point is numerical fidelity to the
+algorithms (ring reduce-scatter, ring/tree/2D-torus all-reduce,
+all-gather, and the sparse all-gather aggregation the paper's TopK-SGD
+needs).  Timing is handled separately by
+:class:`repro.cluster.NetworkModel` and the schemes in :mod:`repro.comm`.
+
+The ring algorithms move data step by step exactly as the real ring
+would, rather than computing ``sum`` directly, so tests can check both
+the result *and* the communication schedule.
+"""
+
+from repro.collectives.all_gather import all_gather, all_gather_concat, ring_all_gather
+from repro.collectives.all_reduce import (
+    ring_allreduce,
+    torus_allreduce_2d,
+    tree_allreduce,
+)
+from repro.collectives.primitives import (
+    broadcast,
+    gather,
+    reduce_sum,
+    scatter,
+    validate_group,
+)
+from repro.collectives.reduce_scatter import reference_reduce_scatter, ring_reduce_scatter
+from repro.collectives.sparse import (
+    SparseVector,
+    coalesce,
+    sparse_allgather_reduce,
+    sparsify_dense,
+)
+
+__all__ = [
+    "broadcast",
+    "reduce_sum",
+    "gather",
+    "scatter",
+    "validate_group",
+    "ring_reduce_scatter",
+    "reference_reduce_scatter",
+    "all_gather",
+    "all_gather_concat",
+    "ring_all_gather",
+    "ring_allreduce",
+    "tree_allreduce",
+    "torus_allreduce_2d",
+    "SparseVector",
+    "coalesce",
+    "sparse_allgather_reduce",
+    "sparsify_dense",
+]

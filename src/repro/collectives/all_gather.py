@@ -1,0 +1,92 @@
+"""All-Gather collectives.
+
+Used in three places in the paper's system: the inter-node exchange of
+sparsified (values, indices) pairs (Algorithm 2 step 3 and the NaiveAG
+baseline), the final intra-node assembly (step 4), and PTO's result
+aggregation (§4.2, Eq. 14).  Unlike reduce-style collectives, All-Gather
+tolerates per-rank inputs of different lengths — sparse selections on
+different shards can produce different ``k`` (shard sizes differ by one
+when ``d % n != 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_arrays(tensors: Sequence[np.ndarray], name: str) -> list[np.ndarray]:
+    if len(tensors) == 0:
+        raise ValueError(f"{name}: empty worker group")
+    arrays = []
+    for rank, t in enumerate(tensors):
+        arr = np.asarray(t)
+        if arr.ndim != 1:
+            raise ValueError(f"{name}: rank {rank} tensor must be 1-D, got {arr.shape}")
+        arrays.append(arr)
+    return arrays
+
+
+def all_gather(tensors: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    """Every worker receives the list of all workers' tensors (rank order).
+
+    Returns ``out`` with ``out[w][r]`` = rank ``r``'s tensor as seen by
+    worker ``w``.  Copies are independent per worker, as on real hardware.
+    """
+    arrays = _as_arrays(tensors, "all_gather")
+    p = len(arrays)
+    return [[arr.copy() for arr in arrays] for _ in range(p)]
+
+
+def all_gather_concat(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """All-Gather with rank-order concatenation (the NCCL semantic)."""
+    arrays = _as_arrays(tensors, "all_gather_concat")
+    full = np.concatenate(arrays)
+    return [full.copy() for _ in range(len(arrays))]
+
+
+def ring_all_gather(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Ring All-Gather simulating the actual ``p - 1`` step schedule.
+
+    Requires equal-length inputs (the ring schedule forwards fixed-size
+    chunks).  Worker ``w`` ends with the concatenation in rank order,
+    identical to :func:`all_gather_concat`.
+    """
+    arrays = _as_arrays(tensors, "ring_all_gather")
+    p = len(arrays)
+    size = arrays[0].size
+    for rank, arr in enumerate(arrays):
+        if arr.size != size:
+            raise ValueError(
+                f"ring_all_gather: rank {rank} has {arr.size} elements, expected {size}"
+            )
+    if p == 1:
+        return [arrays[0].copy()]
+
+    # received[w][c] is worker w's copy of rank c's chunk (None if not yet
+    # received).  At step t, worker w forwards chunk (w - t) mod p to its
+    # successor.
+    received: list[list[np.ndarray | None]] = [
+        [arrays[c].copy() if c == w else None for c in range(p)] for w in range(p)
+    ]
+    for step in range(p - 1):
+        sends = []
+        for w in range(p):
+            c = (w - step) % p
+            payload = received[w][c]
+            if payload is None:  # pragma: no cover - schedule invariant
+                raise AssertionError(f"ring schedule error: worker {w} missing chunk {c}")
+            sends.append((c, (w + 1) % p, payload))
+        for c, dst, payload in sends:
+            received[dst][c] = payload.copy()
+
+    out: list[np.ndarray] = []
+    for w in range(p):
+        chunks = received[w]
+        assert all(c is not None for c in chunks)
+        out.append(np.concatenate([c for c in chunks if c is not None]))
+    return out
+
+
+__all__ = ["all_gather", "all_gather_concat", "ring_all_gather"]

@@ -1,0 +1,73 @@
+"""Basic collective primitives (broadcast, reduce, gather, scatter).
+
+These underpin the composite collectives and the tree all-reduce.  All
+functions are pure: inputs are never mutated, outputs are fresh arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.partition import chunk_bounds
+
+
+def validate_group(tensors: Sequence[np.ndarray], *, name: str = "collective") -> list[np.ndarray]:
+    """Check that a per-worker tensor list is a valid collective group.
+
+    All tensors must be one-dimensional with identical length and dtype
+    (the trainer flattens/fuses layer gradients before communicating, so
+    1-D is the only case the collectives need to support).
+    """
+    if len(tensors) == 0:
+        raise ValueError(f"{name}: empty worker group")
+    arrays = [np.asarray(t) for t in tensors]
+    first = arrays[0]
+    if first.ndim != 1:
+        raise ValueError(f"{name}: tensors must be 1-D, got shape {first.shape}")
+    for rank, arr in enumerate(arrays):
+        if arr.shape != first.shape:
+            raise ValueError(
+                f"{name}: rank {rank} has shape {arr.shape}, expected {first.shape}"
+            )
+        if arr.dtype != first.dtype:
+            raise ValueError(
+                f"{name}: rank {rank} has dtype {arr.dtype}, expected {first.dtype}"
+            )
+    return arrays
+
+
+def broadcast(tensor: np.ndarray, world_size: int) -> list[np.ndarray]:
+    """Give every worker a copy of ``tensor``."""
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    arr = np.asarray(tensor)
+    return [arr.copy() for _ in range(world_size)]
+
+
+def reduce_sum(tensors: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum the per-worker tensors into one array (the 'reduce to root')."""
+    arrays = validate_group(tensors, name="reduce_sum")
+    out = arrays[0].copy()
+    for arr in arrays[1:]:
+        out += arr
+    return out
+
+
+def gather(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Collect every worker's tensor at a (virtual) root, in rank order."""
+    if len(tensors) == 0:
+        raise ValueError("gather: empty worker group")
+    return [np.asarray(t).copy() for t in tensors]
+
+
+def scatter(tensor: np.ndarray, world_size: int) -> list[np.ndarray]:
+    """Split ``tensor`` into ``world_size`` near-equal contiguous chunks."""
+    arr = np.asarray(tensor)
+    if arr.ndim != 1:
+        raise ValueError(f"scatter: tensor must be 1-D, got shape {arr.shape}")
+    return [arr[start:end].copy() for start, end in chunk_bounds(arr.size, world_size)]
+
+
+__all__ = ["validate_group", "broadcast", "reduce_sum", "gather", "scatter"]

@@ -1,0 +1,133 @@
+"""Sparse vectors and the sparse All-Gather aggregation.
+
+Top-k sparsification makes indices differ across workers, so the values
+"cannot be aggregated through the All-Reduce collective.  The efficient
+way is to use two All-Gather operations to aggregate the values and
+indices respectively" (paper §3.2, citing SparCML).  This module provides
+the sparse container and that aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SparseVector:
+    """A sparse view of a length-``length`` dense vector.
+
+    ``values[i]`` lives at position ``indices[i]``.  Indices may contain
+    duplicates until :func:`coalesce` is applied (duplicates arise when
+    accumulating selections from several workers).
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    length: int
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        indices = np.asarray(self.indices)
+        if values.ndim != 1 or indices.ndim != 1:
+            raise ValueError("values and indices must be 1-D")
+        if values.shape != indices.shape:
+            raise ValueError(
+                f"values ({values.shape}) and indices ({indices.shape}) must align"
+            )
+        if self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+        if indices.size and (indices.min() < 0 or indices.max() >= self.length):
+            raise ValueError("indices out of range for declared length")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "indices", indices.astype(np.int64, copy=False))
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def to_dense(self) -> np.ndarray:
+        """Densify, accumulating duplicate indices (scatter-add)."""
+        dense = np.zeros(self.length, dtype=self.values.dtype)
+        np.add.at(dense, self.indices, self.values)
+        return dense
+
+    def shifted(self, offset: int, new_length: int) -> "SparseVector":
+        """Re-base indices by ``offset`` into a longer vector.
+
+        Used when a shard-local selection (Algorithm 2 step 2) is mapped
+        back into the full gradient's coordinate space.
+        """
+        return SparseVector(self.values, self.indices + offset, new_length)
+
+    def nbytes_on_wire(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        """Wire size: ``k`` values plus ``k`` indices (paper: "the number
+        of elements ... to be transmitted becomes 2k")."""
+        return self.nnz * (value_bytes + index_bytes)
+
+
+def sparsify_dense(dense: np.ndarray, indices: np.ndarray) -> SparseVector:
+    """Build a :class:`SparseVector` by reading ``dense`` at ``indices``."""
+    dense = np.asarray(dense)
+    if dense.ndim != 1:
+        raise ValueError(f"dense must be 1-D, got shape {dense.shape}")
+    indices = np.asarray(indices, dtype=np.int64)
+    return SparseVector(dense[indices], indices, dense.size)
+
+
+def coalesce(vec: SparseVector) -> SparseVector:
+    """Merge duplicate indices by summation; output indices are sorted."""
+    if vec.nnz == 0:
+        return vec
+    order = np.argsort(vec.indices, kind="stable")
+    idx = vec.indices[order]
+    vals = vec.values[order]
+    unique_idx, inverse = np.unique(idx, return_inverse=True)
+    summed = np.zeros(unique_idx.size, dtype=vals.dtype)
+    np.add.at(summed, inverse, vals)
+    return SparseVector(summed, unique_idx, vec.length)
+
+
+def concat_sparse(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Concatenate sparse vectors sharing one coordinate space."""
+    if not vectors:
+        raise ValueError("concat_sparse: empty input")
+    length = vectors[0].length
+    for v in vectors:
+        if v.length != length:
+            raise ValueError("concat_sparse: mismatched lengths")
+    values = np.concatenate([v.values for v in vectors]) if vectors else np.empty(0)
+    indices = np.concatenate([v.indices for v in vectors])
+    return SparseVector(values, indices, length)
+
+
+def sparse_allgather_reduce(vectors: Sequence[SparseVector]) -> list[np.ndarray]:
+    """The NaiveAG aggregation: all-gather (values, indices), then each
+    worker scatter-adds every contribution into a dense buffer.
+
+    Returns the per-worker dense aggregate (identical across workers).
+    """
+    if not vectors:
+        raise ValueError("sparse_allgather_reduce: empty worker group")
+    length = vectors[0].length
+    dtype = vectors[0].values.dtype
+    for rank, v in enumerate(vectors):
+        if v.length != length:
+            raise ValueError(
+                f"sparse_allgather_reduce: rank {rank} length {v.length} != {length}"
+            )
+    dense = np.zeros(length, dtype=dtype)
+    for v in vectors:
+        np.add.at(dense, v.indices, v.values)
+    return [dense.copy() for _ in range(len(vectors))]
+
+
+__all__ = [
+    "SparseVector",
+    "sparsify_dense",
+    "coalesce",
+    "concat_sparse",
+    "sparse_allgather_reduce",
+]

@@ -1,0 +1,98 @@
+"""Scheme interface shared by dense and sparse aggregation."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.comm.breakdown import TimeBreakdown
+from repro.utils.seeding import RandomState
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one gradient aggregation round.
+
+    Attributes
+    ----------
+    outputs:
+        Per-rank aggregated gradient (all equal for correct schemes; for
+        sparse schemes this is the sparsified global sum densified).
+    breakdown:
+        Virtual-time breakdown of the aggregation steps.
+    inter_bytes:
+        Bytes crossing one node NIC (per node, per direction) — the
+        quantity the hierarchical design minimises.
+    intra_bytes:
+        Bytes moved over NVLink per GPU.
+    """
+
+    outputs: list[np.ndarray]
+    breakdown: TimeBreakdown
+    inter_bytes: float = 0.0
+    intra_bytes: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def time(self) -> float:
+        return self.breakdown.total
+
+
+class CommScheme(abc.ABC):
+    """A gradient aggregation scheme over a virtual cluster.
+
+    Subclasses implement both the *functional* aggregation (NumPy data
+    movement, used by convergence experiments and tests) and the
+    *analytic* time model (used by the Fig. 7/8 benchmarks where only the
+    tensor size matters).
+    """
+
+    #: Scheme name as it appears in the paper's figures.
+    name: str = "scheme"
+    #: True when the output is the exact dense sum of the inputs.
+    dense: bool = True
+
+    def __init__(self, network: NetworkModel) -> None:
+        self.network = network
+
+    @property
+    def topology(self):
+        return self.network.topology
+
+    @abc.abstractmethod
+    def aggregate(
+        self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
+    ) -> AggregationResult:
+        """Aggregate per-rank gradients; returns data + timing."""
+
+    @abc.abstractmethod
+    def time_model(self, d: int) -> TimeBreakdown:
+        """Analytic virtual-time breakdown for a ``d``-element gradient."""
+
+    def _check_world(self, worker_grads: Sequence[np.ndarray]) -> list[np.ndarray]:
+        expected = self.topology.world_size
+        if len(worker_grads) != expected:
+            raise ValueError(
+                f"{self.name}: got {len(worker_grads)} gradients for "
+                f"world size {expected}"
+            )
+        arrays = [np.asarray(g) for g in worker_grads]
+        d = arrays[0].size
+        for rank, arr in enumerate(arrays):
+            if arr.ndim != 1:
+                raise ValueError(f"{self.name}: rank {rank} gradient must be 1-D")
+            if arr.size != d:
+                raise ValueError(
+                    f"{self.name}: rank {rank} has {arr.size} elements, expected {d}"
+                )
+        return arrays
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(network={self.network!r})"
+
+
+__all__ = ["AggregationResult", "CommScheme"]

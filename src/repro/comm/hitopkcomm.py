@@ -1,0 +1,204 @@
+"""HiTopKComm — hierarchical top-k communication (paper §3.2, Algorithm 2).
+
+The four steps, for a cluster of ``m`` nodes × ``n`` GPUs and a
+``d``-element gradient at density ρ:
+
+1. **Intra-node Reduce-Scatter** (Eq. 4/7): GPU ``j`` of node ``i`` ends
+   up with the node-local sum of segment ``j`` (``d/n`` elements), moved
+   over fast NVLink.
+2. **MSTopK per shard** (Eq. 5/8): each GPU selects ``k̃ = ρ d / n``
+   entries of its shard — an ``n``-times smaller selection than flat
+   top-k, in parallel on all GPUs.
+3. **Inter-node All-Gather per stream** (Eq. 6/9): the ``j``-th GPUs of
+   all nodes exchange their (values, indices) pairs over ``n`` concurrent
+   streams sharing each NIC, then scatter-add the ``m`` contributions
+   into a dense shard accumulator (≤ ρ·d·m/n non-zeros).
+4. **Intra-node All-Gather** (Eq. 10): nodes reassemble the full
+   sparsified global gradient over NVLink.
+
+Only step 3 touches the slow inter-node network, and it carries ρ of the
+dense volume — that is the entire trick.
+
+Error feedback: the information drop happens in step 2, on the
+*node-reduced shard*, so the residual lives with the shard owner (one
+``d/n`` buffer per GPU) and is added right after the reduce-scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.gpu import V100, GpuSpec, mstopk_gpu_time
+from repro.cluster.network import NetworkModel
+from repro.collectives.reduce_scatter import ring_reduce_scatter
+from repro.comm.base import AggregationResult, CommScheme
+from repro.comm.breakdown import TimeBreakdown
+from repro.compression.base import TopKCompressor, density_to_k
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.mstopk import MSTopK
+from repro.utils.partition import chunk_bounds
+from repro.utils.seeding import RandomState
+
+#: Step names, in paper order (Fig. 8's legend).
+STEP_REDUCE_SCATTER = "reduce_scatter"
+STEP_MSTOPK = "mstopk"
+STEP_INTER_ALLGATHER = "inter_allgather"
+STEP_INTRA_ALLGATHER = "intra_allgather"
+
+
+class HiTopKComm(CommScheme):
+    """Hierarchical sparse aggregation (Algorithm 2).
+
+    Parameters
+    ----------
+    network:
+        Cluster cost model (provides ``m``, ``n``, link specs).
+    density:
+        Sparsity ρ (paper uses 0.01 for Fig. 7/8, 0.001 for training).
+    compressor:
+        Shard-level top-k operator; MSTopK by default.
+    error_feedback:
+        Keep per-shard residuals (on by default; required for training).
+    value_bytes / index_bytes:
+        Wire format of the step-3 exchange.
+    dense_wire_bytes:
+        Wire format of the dense steps 1 and 4 (FP16 in Fig. 7, FP32 in
+        Fig. 8).
+    """
+
+    name = "HiTopKComm"
+    dense = False
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        *,
+        density: float = 0.01,
+        compressor: TopKCompressor | None = None,
+        error_feedback: bool = True,
+        value_bytes: int = 4,
+        index_bytes: int = 4,
+        dense_wire_bytes: int = 4,
+        gpu: GpuSpec = V100,
+    ) -> None:
+        super().__init__(network)
+        if not 0 < density <= 1:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        self.density = density
+        self.compressor = compressor if compressor is not None else MSTopK()
+        self.ef = ErrorFeedback() if error_feedback else None
+        self.value_bytes = value_bytes
+        self.index_bytes = index_bytes
+        self.dense_wire_bytes = dense_wire_bytes
+        self.gpu = gpu
+
+    # -- functional aggregation ------------------------------------------------
+    def aggregate(
+        self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
+    ) -> AggregationResult:
+        arrays = self._check_world(worker_grads)
+        topo = self.topology
+        m, n = topo.num_nodes, topo.gpus_per_node
+        d = arrays[0].size
+        bounds = chunk_bounds(d, n)
+
+        # Step 1: intra-node ring reduce-scatter (per node, in parallel).
+        shards: dict[int, np.ndarray] = {}
+        for node in range(m):
+            group = [arrays[r] for r in topo.node_ranks(node)]
+            for local, shard in enumerate(ring_reduce_scatter(group)):
+                shards[topo.rank(node, local)] = shard
+
+        # Step 2: per-shard top-k selection, with shard-resident error
+        # feedback.  k̃ = ρ * shard_size (paper: ρ d / n).
+        selections: dict[int, object] = {}
+        for rank_, shard in shards.items():
+            corrected = self.ef.apply(rank_, shard) if self.ef is not None else shard
+            k_tilde = density_to_k(corrected.size, self.density)
+            sent = self.compressor.select(corrected, k_tilde, rng=rng)
+            if self.ef is not None:
+                self.ef.update(rank_, corrected, sent)
+            selections[rank_] = sent
+
+        # Step 3: inter-node all-gather per stream + scatter-add.  Every
+        # GPU of stream j computes the same accumulated shard.
+        stream_accumulators: list[np.ndarray] = []
+        for local in range(n):
+            start, end = bounds[local]
+            acc = np.zeros(end - start, dtype=arrays[0].dtype)
+            for node in range(m):
+                sent = selections[topo.rank(node, local)]
+                np.add.at(acc, sent.indices, sent.values)
+            stream_accumulators.append(acc)
+
+        # Step 4: intra-node all-gather reassembles the full vector.  All
+        # streams hold identical accumulators across nodes, so the global
+        # result is one vector replicated everywhere.
+        full = np.concatenate(stream_accumulators)
+        outputs = [full.copy() for _ in range(topo.world_size)]
+
+        breakdown = self.time_model(d)
+        k_tilde = density_to_k(bounds[0][1] - bounds[0][0], self.density)
+        pair_bytes = k_tilde * (self.value_bytes + self.index_bytes)
+        return AggregationResult(
+            outputs=outputs,
+            breakdown=breakdown,
+            inter_bytes=(m - 1) * pair_bytes * n,  # per NIC: n streams
+            intra_bytes=2.0 * d * self.dense_wire_bytes / n * (n - 1),
+            extras={"k_tilde": k_tilde, "selections": selections},
+        )
+
+    # -- analytic time model (Eqs. 7-10) ---------------------------------------
+    def time_model(self, d: int) -> TimeBreakdown:
+        net = self.network
+        n = self.topology.gpus_per_node
+        m = self.topology.num_nodes
+        shard = d / n
+
+        # Step 1 — Eq. (7): ring reduce-scatter over NVLink.
+        t1 = net.intra_reduce_scatter_time(d * self.dense_wire_bytes)
+
+        # Step 2 — Eq. (8): MSTopK on a d/n shard (GPU streaming model).
+        t2 = mstopk_gpu_time(int(shard), gpu=self.gpu)
+
+        # Step 3 — Eq. (9): inter-node All-Gather of k̃ (value, index)
+        # pairs among m nodes, on n NIC-sharing streams.
+        k_tilde = max(1, int(round(self.density * shard)))
+        pair_bytes = k_tilde * (self.value_bytes + self.index_bytes)
+        t3 = net.inter_allgather_time(pair_bytes, streams=n)
+        # Scatter-add of the gathered m*k̃ pairs (irregular access).
+        accum_bytes = m * k_tilde * (self.value_bytes + self.index_bytes)
+        t3 += accum_bytes / (self.gpu.memory_bandwidth * self.gpu.irregular_efficiency)
+
+        # Step 4 — Eq. (10): intra-node All-Gather of the accumulated
+        # shards (≤ ρ d m / n non-zeros each, exchanged as value/index
+        # pairs: "we assume the indices of the third step are all
+        # different so that the number of elements ... is ρ d m / n").
+        per_rank_bytes = (
+            min(m * k_tilde, int(shard)) * (self.value_bytes + self.index_bytes)
+        )
+        t4 = net.intra_allgather_time(per_rank_bytes)
+
+        return TimeBreakdown(
+            {
+                STEP_REDUCE_SCATTER: t1,
+                STEP_MSTOPK: t2,
+                STEP_INTER_ALLGATHER: t3,
+                STEP_INTRA_ALLGATHER: t4,
+            }
+        )
+
+    def compression_time_model(self, d: int) -> float:
+        """Step-2 compute time (already part of :meth:`time_model`)."""
+        return mstopk_gpu_time(int(d / self.topology.gpus_per_node), gpu=self.gpu)
+
+
+__all__ = [
+    "HiTopKComm",
+    "STEP_REDUCE_SCATTER",
+    "STEP_MSTOPK",
+    "STEP_INTER_ALLGATHER",
+    "STEP_INTRA_ALLGATHER",
+]

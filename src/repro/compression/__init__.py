@@ -1,0 +1,54 @@
+"""Gradient compression operators.
+
+The paper's first contribution is **MSTopK** (§3.1, Algorithm 1), an
+approximate top-k selection that replaces sort-based selection with a
+fixed number of binary-search threshold passes.  This package implements
+it alongside the baselines it is compared against in Fig. 6:
+
+* :mod:`repro.compression.exact_topk` — sort-based exact top-k (the
+  ``nn.topk`` analogue) and an ``argpartition`` variant;
+* :mod:`repro.compression.dgc` — the double-sampling selection of Deep
+  Gradient Compression (Lin et al. 2018);
+* :mod:`repro.compression.mstopk` — Algorithm 1;
+* :mod:`repro.compression.randomk` — random-k (convergence baseline);
+* :mod:`repro.compression.quantize` — FP16 and QSGD quantisers
+  (related-work baselines, §6);
+* :mod:`repro.compression.error_feedback` — the residual memory that
+  makes sparsified SGD converge (Stich et al. 2018; Karimireddy et al.
+  2019).
+"""
+
+from repro.compression.base import TopKCompressor, density_to_k
+from repro.compression.dgc import DGCTopK
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.exact_topk import ExactTopK, naive_topk_sort, topk_argpartition
+from repro.compression.mstopk import MSTopK, mstopk_select, mstopk_threshold_search
+from repro.compression.quantize import FP16Quantizer, QSGDQuantizer, Quantizer
+from repro.compression.randomk import RandomK
+from repro.compression.theory import (
+    CompressionDiagnostics,
+    contraction_factor,
+    residual_norm_bound,
+    topk_contraction_bound,
+)
+
+__all__ = [
+    "TopKCompressor",
+    "density_to_k",
+    "ExactTopK",
+    "naive_topk_sort",
+    "topk_argpartition",
+    "DGCTopK",
+    "MSTopK",
+    "mstopk_select",
+    "mstopk_threshold_search",
+    "RandomK",
+    "Quantizer",
+    "FP16Quantizer",
+    "QSGDQuantizer",
+    "ErrorFeedback",
+    "contraction_factor",
+    "topk_contraction_bound",
+    "residual_norm_bound",
+    "CompressionDiagnostics",
+]

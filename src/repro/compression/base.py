@@ -1,0 +1,65 @@
+"""Compressor interfaces shared by all selection operators."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.collectives.sparse import SparseVector
+from repro.utils.seeding import RandomState
+
+
+def density_to_k(d: int, density: float) -> int:
+    """Number of elements kept for a sparsity ``density`` ρ (paper: k = ρ·d).
+
+    Always at least 1 so a non-empty gradient contributes something.
+    """
+    if d < 0:
+        raise ValueError(f"dimension must be non-negative, got {d}")
+    if not 0 < density <= 1:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+    if d == 0:
+        return 0
+    return max(1, int(round(density * d)))
+
+
+class TopKCompressor(abc.ABC):
+    """Selects ``k`` entries of a vector by (approximate) magnitude.
+
+    Implementations must return *exactly* ``k`` entries — Algorithm 2's
+    All-Gather exchanges fixed-size buffers, so "approximately k" outputs
+    (as in RedSync-style samplers, paper §6) would force variable-length
+    communication.  This exactness is property-tested.
+    """
+
+    #: Short name used in benchmark tables.
+    name: str = "topk"
+
+    @abc.abstractmethod
+    def select(
+        self, x: np.ndarray, k: int, *, rng: RandomState | None = None
+    ) -> SparseVector:
+        """Return a :class:`SparseVector` with ``k`` selected entries of ``x``."""
+
+    def select_density(
+        self, x: np.ndarray, density: float, *, rng: RandomState | None = None
+    ) -> SparseVector:
+        """Select ``k = density * len(x)`` entries."""
+        x = np.asarray(x)
+        return self.select(x, density_to_k(x.size, density), rng=rng)
+
+    @staticmethod
+    def _validate(x: np.ndarray, k: int) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise ValueError(f"input must be 1-D, got shape {x.shape}")
+        if not 0 <= k <= x.size:
+            raise ValueError(f"k={k} out of range for vector of size {x.size}")
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+__all__ = ["TopKCompressor", "density_to_k"]

@@ -1,0 +1,91 @@
+"""Exact top-k selection.
+
+Two implementations with very different cost profiles:
+
+* :func:`naive_topk_sort` — full sort by magnitude, the analogue of
+  TensorFlow's ``nn.topk`` that Fig. 6 shows to be "very slow";
+* :func:`topk_argpartition` — ``np.argpartition`` (introselect), the
+  efficient exact selection on a CPU.
+
+Both return the exact same *set* of entries (up to ties); the sorted
+variant additionally orders them by descending magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.sparse import SparseVector
+from repro.compression.base import TopKCompressor
+from repro.utils.seeding import RandomState
+
+
+def naive_topk_sort(x: np.ndarray, k: int) -> SparseVector:
+    """Exact top-k via a full descending sort of ``|x|`` (the slow path)."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"input must be 1-D, got shape {x.shape}")
+    if not 0 <= k <= x.size:
+        raise ValueError(f"k={k} out of range for vector of size {x.size}")
+    if k == 0:
+        return SparseVector(np.empty(0, dtype=x.dtype), np.empty(0, dtype=np.int64), x.size)
+    order = np.argsort(np.abs(x), kind="stable")[::-1]
+    indices = order[:k].astype(np.int64)
+    return SparseVector(x[indices], indices, x.size)
+
+
+def topk_argpartition(x: np.ndarray, k: int) -> SparseVector:
+    """Exact top-k via ``np.argpartition`` (no full sort)."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"input must be 1-D, got shape {x.shape}")
+    if not 0 <= k <= x.size:
+        raise ValueError(f"k={k} out of range for vector of size {x.size}")
+    if k == 0:
+        return SparseVector(np.empty(0, dtype=x.dtype), np.empty(0, dtype=np.int64), x.size)
+    if k == x.size:
+        indices = np.arange(x.size, dtype=np.int64)
+        return SparseVector(x.copy(), indices, x.size)
+    magnitude = np.abs(x)
+    indices = np.argpartition(magnitude, x.size - k)[x.size - k :].astype(np.int64)
+    return SparseVector(x[indices], indices, x.size)
+
+
+def exact_threshold(x: np.ndarray, k: int) -> float:
+    """The k-th largest magnitude of ``x`` (paper Eq. 2's ``thres``)."""
+    x = np.asarray(x)
+    if not 1 <= k <= x.size:
+        raise ValueError(f"k={k} out of range for vector of size {x.size}")
+    magnitude = np.abs(x)
+    return float(np.partition(magnitude, x.size - k)[x.size - k])
+
+
+class ExactTopK(TopKCompressor):
+    """Exact top-k compressor.
+
+    Parameters
+    ----------
+    method:
+        ``"sort"`` for the naive full-sort path (what the paper benchmarks
+        as ``nn.topk``) or ``"argpartition"`` for the efficient selection.
+    """
+
+    def __init__(self, method: str = "argpartition") -> None:
+        if method not in ("sort", "argpartition"):
+            raise ValueError(f"method must be 'sort' or 'argpartition', got {method!r}")
+        self.method = method
+        self.name = "nn.topk" if method == "sort" else "exact-topk"
+
+    def select(
+        self, x: np.ndarray, k: int, *, rng: RandomState | None = None
+    ) -> SparseVector:
+        x = self._validate(x, k)
+        if self.method == "sort":
+            return naive_topk_sort(x, k)
+        return topk_argpartition(x, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExactTopK(method={self.method!r})"
+
+
+__all__ = ["ExactTopK", "naive_topk_sort", "topk_argpartition", "exact_threshold"]

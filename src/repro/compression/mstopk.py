@@ -1,0 +1,182 @@
+"""MSTopK — the paper's approximate top-k operator (§3.1, Algorithm 1).
+
+The idea: instead of sorting, binary-search a magnitude threshold in the
+range ``[mean(|x|), max(|x|)]``.  Each of the ``N`` search iterations is
+a single coalesced count-above-threshold pass (GPU friendly).  After the
+search, two thresholds bracket the exact one:
+
+* ``thres1`` — the tightest threshold that selects *at most* ``k``
+  elements (``k1`` of them);
+* ``thres2`` — the tightest threshold that selects *more than* ``k``
+  elements (``k2`` of them).
+
+All ``k1`` elements above ``thres1`` are taken, and the remaining
+``k - k1`` are drawn as a random contiguous run from the band
+``thres2 <= |x| < thres1`` (Algorithm 1 lines 25–29) — contiguous so the
+gather stays coalesced.  The output has *exactly* ``k`` entries, and
+every element above ``thres1`` is guaranteed present, so the
+approximation can only differ from exact top-k inside the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collectives.sparse import SparseVector
+from repro.compression.base import TopKCompressor
+from repro.utils.seeding import RandomState
+
+#: Paper setting: "The number of samplings for MSTopK is 30" (Fig. 6).
+DEFAULT_N_SAMPLINGS = 30
+
+
+@dataclass(frozen=True)
+class ThresholdSearchResult:
+    """Outcome of the binary threshold search (Algorithm 1 lines 1–24)."""
+
+    thres1: float  # selects k1 <= k elements
+    thres2: float  # selects k2 > k elements (or 0.0 if never found)
+    k1: int
+    k2: int
+    iterations: int
+
+
+def mstopk_threshold_search(
+    magnitude: np.ndarray, k: int, n_samplings: int = DEFAULT_N_SAMPLINGS
+) -> ThresholdSearchResult:
+    """Binary-search bracketing thresholds for ``k`` on ``|x|``.
+
+    ``magnitude`` must already be the absolute values.  Follows Algorithm
+    1 exactly: the search interval is the ratio ``[l, r] ⊂ [0, 1]``
+    mapped onto ``[mean, max]`` of the magnitudes.
+    """
+    if n_samplings < 1:
+        raise ValueError(f"n_samplings must be >= 1, got {n_samplings}")
+    d = magnitude.size
+    if not 1 <= k <= d:
+        raise ValueError(f"k={k} out of range for vector of size {d}")
+
+    mean = float(magnitude.mean())
+    top = float(magnitude.max())
+    lo, hi = 0.0, 1.0
+    k1, k2 = 0, d
+    thres1, thres2 = 0.0, 0.0
+
+    for _ in range(n_samplings):
+        ratio = lo + (hi - lo) / 2.0
+        thres = mean + ratio * (top - mean)
+        nnz = int(np.count_nonzero(magnitude >= thres))
+        if nnz <= k:
+            hi = ratio
+            if nnz > k1 or thres1 == 0.0:
+                k1 = nnz
+                thres1 = thres
+        else:
+            lo = ratio
+            if nnz < k2:
+                k2 = nnz
+                thres2 = thres
+
+    return ThresholdSearchResult(thres1, thres2, k1, k2, n_samplings)
+
+
+def mstopk_select(
+    x: np.ndarray,
+    k: int,
+    *,
+    n_samplings: int = DEFAULT_N_SAMPLINGS,
+    rng: RandomState | None = None,
+) -> SparseVector:
+    """Approximate top-k selection (Algorithm 1), returning exactly ``k`` entries.
+
+    Parameters
+    ----------
+    x:
+        Input vector.
+    k:
+        Number of entries to keep (``0 <= k <= len(x)``).
+    n_samplings:
+        Binary-search iterations ``N`` (paper default 30).
+    rng:
+        Source of the random offset for the contiguous tail run (line 27).
+        ``None`` uses offset 0, which is deterministic and unbiased across
+        iterations only if the gradient layout varies; training code
+        passes per-worker generators.
+    """
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"input must be 1-D, got shape {x.shape}")
+    if not 0 <= k <= x.size:
+        raise ValueError(f"k={k} out of range for vector of size {x.size}")
+    if k == 0:
+        return SparseVector(np.empty(0, dtype=x.dtype), np.empty(0, dtype=np.int64), x.size)
+    if k == x.size:
+        return SparseVector(x.copy(), np.arange(x.size, dtype=np.int64), x.size)
+
+    magnitude = np.abs(x)
+    search = mstopk_threshold_search(magnitude, k, n_samplings)
+    thres1, k1 = search.thres1, search.k1
+
+    if thres1 > 0.0:
+        head = np.flatnonzero(magnitude >= thres1)
+        # Degenerate magnitude distributions (many ties at the max) can
+        # make the count at thres1 exceed k; truncate to keep exactness.
+        if head.size > k:
+            head = head[:k]
+        band = np.flatnonzero((magnitude < thres1) & (magnitude >= search.thres2))
+    else:
+        # thres1 was never established (possible only when every sampled
+        # threshold selected more than k elements, e.g. near-constant
+        # vectors).  Fall back to the band above thres2.
+        head = np.empty(0, dtype=np.int64)
+        band = np.flatnonzero(magnitude >= search.thres2)
+
+    need = k - head.size
+    if need > 0:
+        if band.size < need:
+            # Not enough candidates in the band (ties / degenerate data):
+            # widen to everything not already selected.
+            mask = np.ones(x.size, dtype=bool)
+            mask[head] = False
+            band = np.flatnonzero(mask)
+        max_offset = band.size - need
+        if rng is None or max_offset == 0:
+            offset = 0
+        else:
+            offset = int(rng.integers(0, max_offset + 1))
+        tail = band[offset : offset + need]
+        indices = np.concatenate([head, tail]).astype(np.int64)
+    else:
+        indices = head.astype(np.int64)
+
+    return SparseVector(x[indices], indices, x.size)
+
+
+class MSTopK(TopKCompressor):
+    """Compressor wrapper around :func:`mstopk_select`."""
+
+    def __init__(self, n_samplings: int = DEFAULT_N_SAMPLINGS) -> None:
+        if n_samplings < 1:
+            raise ValueError(f"n_samplings must be >= 1, got {n_samplings}")
+        self.n_samplings = n_samplings
+        self.name = "MSTopK"
+
+    def select(
+        self, x: np.ndarray, k: int, *, rng: RandomState | None = None
+    ) -> SparseVector:
+        x = self._validate(x, k)
+        return mstopk_select(x, k, n_samplings=self.n_samplings, rng=rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MSTopK(n_samplings={self.n_samplings})"
+
+
+__all__ = [
+    "DEFAULT_N_SAMPLINGS",
+    "ThresholdSearchResult",
+    "mstopk_threshold_search",
+    "mstopk_select",
+    "MSTopK",
+]

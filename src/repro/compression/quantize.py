@@ -1,0 +1,94 @@
+"""Quantisation baselines (related work, paper §6).
+
+The paper's Fig. 7 measures collectives with FP16 elements ("we use the
+16-bit floating point (FP16) for each element which is widely used in
+V100 GPU clusters"), and its related work cites QSGD (Alistarh et al.
+2017).  These quantisers let the comm schemes and the convergence
+harness exercise those code paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.seeding import RandomState, new_rng
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An encoded tensor plus the metadata needed to decode it."""
+
+    payload: np.ndarray
+    scale: float
+    original_dtype: np.dtype
+    nbytes: int
+
+
+class Quantizer(abc.ABC):
+    """Lossy dense encoder/decoder."""
+
+    name: str = "quantizer"
+
+    @abc.abstractmethod
+    def encode(self, x: np.ndarray, *, rng: RandomState | None = None) -> QuantizedTensor:
+        ...
+
+    @abc.abstractmethod
+    def decode(self, q: QuantizedTensor) -> np.ndarray:
+        ...
+
+    def roundtrip(self, x: np.ndarray, *, rng: RandomState | None = None) -> np.ndarray:
+        return self.decode(self.encode(x, rng=rng))
+
+
+class FP16Quantizer(Quantizer):
+    """Half-precision cast — the wire format of the paper's Fig. 7 runs."""
+
+    name = "fp16"
+
+    def encode(self, x: np.ndarray, *, rng: RandomState | None = None) -> QuantizedTensor:
+        x = np.asarray(x)
+        payload = x.astype(np.float16)
+        return QuantizedTensor(payload, 1.0, x.dtype, payload.nbytes)
+
+    def decode(self, q: QuantizedTensor) -> np.ndarray:
+        return q.payload.astype(q.original_dtype)
+
+
+class QSGDQuantizer(Quantizer):
+    """QSGD stochastic uniform quantisation (Alistarh et al. 2017).
+
+    Encodes ``x`` as ``sign * level / s * ||x||_2`` where ``level`` is a
+    stochastically rounded integer in ``[0, s]``.  The encoding is an
+    unbiased estimator of ``x`` (property-tested).
+    """
+
+    name = "qsgd"
+
+    def __init__(self, levels: int = 255) -> None:
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+
+    def encode(self, x: np.ndarray, *, rng: RandomState | None = None) -> QuantizedTensor:
+        x = np.asarray(x, dtype=np.float64)
+        rng = rng if rng is not None else new_rng()
+        norm = float(np.linalg.norm(x))
+        if norm == 0.0:
+            payload = np.zeros(x.size, dtype=np.int16)
+            return QuantizedTensor(payload, 0.0, x.dtype, payload.nbytes)
+        ratio = np.abs(x) / norm * self.levels
+        floor = np.floor(ratio)
+        prob = ratio - floor
+        level = floor + (rng.random(x.size) < prob)
+        payload = (np.sign(x) * level).astype(np.int16)
+        return QuantizedTensor(payload, norm / self.levels, x.dtype, payload.nbytes)
+
+    def decode(self, q: QuantizedTensor) -> np.ndarray:
+        return (q.payload.astype(np.float64) * q.scale).astype(q.original_dtype)
+
+
+__all__ = ["QuantizedTensor", "Quantizer", "FP16Quantizer", "QSGDQuantizer"]

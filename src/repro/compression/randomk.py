@@ -1,0 +1,47 @@
+"""Random-k sparsification — a convergence baseline.
+
+Random-k keeps ``k`` uniformly random coordinates.  It is unbiased after
+scaling but converges slower than top-k at equal density; we include it
+so the convergence experiments can show the value of magnitude-based
+selection (an ablation the paper's related work discusses via Stich et
+al. 2018).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.sparse import SparseVector
+from repro.compression.base import TopKCompressor
+from repro.utils.seeding import RandomState, new_rng
+
+
+class RandomK(TopKCompressor):
+    """Uniformly random k-coordinate selection."""
+
+    def __init__(self, scale: bool = False) -> None:
+        #: When True, values are scaled by d/k to make the sparsified
+        #: vector an unbiased estimator of the input.
+        self.scale = scale
+        self.name = "RandomK"
+
+    def select(
+        self, x: np.ndarray, k: int, *, rng: RandomState | None = None
+    ) -> SparseVector:
+        x = self._validate(x, k)
+        if k == 0:
+            return SparseVector(
+                np.empty(0, dtype=x.dtype), np.empty(0, dtype=np.int64), x.size
+            )
+        rng = rng if rng is not None else new_rng()
+        indices = rng.choice(x.size, size=k, replace=False).astype(np.int64)
+        values = x[indices]
+        if self.scale and k < x.size:
+            values = values * (x.size / k)
+        return SparseVector(values, indices, x.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomK(scale={self.scale})"
+
+
+__all__ = ["RandomK"]

@@ -1,0 +1,99 @@
+"""Convergence theory helpers for sparsified SGD with memory.
+
+The paper leans on the convergence guarantees of top-k sparsification
+with error feedback (Stich et al. 2018; Alistarh et al. 2018;
+Karimireddy et al. 2019).  The central object is the **contraction
+property** of the top-k operator:
+
+    ||x - TopK(x, k)||²  <=  (1 - k/d) ||x||²,
+
+which bounds the residual accumulation and yields the same asymptotic
+rate as dense SGD.  This module provides measurable versions of those
+quantities so tests and diagnostics can check that the implemented
+operators (including the *approximate* MSTopK) actually satisfy the
+assumptions the cited theory needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collectives.sparse import SparseVector
+
+
+def contraction_factor(x: np.ndarray, sent: SparseVector) -> float:
+    """Measured ``||x - densify(sent)||² / ||x||²`` (0 = lossless).
+
+    For exact top-k this is at most ``1 - k/d``; any exactly-k operator
+    whose measured factor stays below 1 satisfies the EF convergence
+    assumptions (the constant only affects the higher-order term).
+    """
+    x = np.asarray(x)
+    if sent.length != x.size:
+        raise ValueError(f"length mismatch: {sent.length} vs {x.size}")
+    norm_sq = float(np.sum(x * x))
+    if norm_sq == 0.0:
+        return 0.0
+    diff = x - sent.to_dense()
+    return float(np.sum(diff * diff)) / norm_sq
+
+
+def topk_contraction_bound(d: int, k: int) -> float:
+    """The theoretical bound ``1 - k/d`` for exact top-k."""
+    if not 0 <= k <= d or d == 0:
+        raise ValueError(f"invalid (d, k) = ({d}, {k})")
+    return 1.0 - k / d
+
+
+def residual_norm_bound(
+    gradient_bound: float, d: int, k: int
+) -> float:
+    """Steady-state residual-norm bound under EF (Stich et al. 2018).
+
+    With contraction factor γ = 1 - k/d and per-step gradient norms
+    bounded by G, the residual satisfies
+    ``||e_t|| <= sqrt(γ) / (1 - sqrt(γ)) * G``.
+    """
+    if gradient_bound < 0:
+        raise ValueError(f"gradient_bound must be non-negative")
+    gamma = topk_contraction_bound(d, k)
+    root = float(np.sqrt(gamma))
+    if root >= 1.0:
+        return float("inf")
+    return root / (1.0 - root) * gradient_bound
+
+
+@dataclass
+class CompressionDiagnostics:
+    """Streaming check that an operator satisfies the EF assumptions."""
+
+    worst_contraction: float = 0.0
+    samples: int = 0
+    total_energy_kept: float = 0.0
+
+    def record(self, x: np.ndarray, sent: SparseVector) -> float:
+        factor = contraction_factor(x, sent)
+        self.worst_contraction = max(self.worst_contraction, factor)
+        self.samples += 1
+        self.total_energy_kept += 1.0 - factor
+        return factor
+
+    @property
+    def mean_energy_kept(self) -> float:
+        if self.samples == 0:
+            return 0.0
+        return self.total_energy_kept / self.samples
+
+    def satisfies_contraction(self, slack: float = 1e-9) -> bool:
+        """True when every recorded selection was a strict contraction."""
+        return self.samples > 0 and self.worst_contraction < 1.0 + slack
+
+
+__all__ = [
+    "contraction_factor",
+    "topk_contraction_bound",
+    "residual_norm_bound",
+    "CompressionDiagnostics",
+]

@@ -1,0 +1,152 @@
+"""Synthetic datasets standing in for ImageNet and WMT17.
+
+The paper trains CNNs on ImageNet (1.28M images) and a Transformer on
+WMT17 English-German.  We synthesise structurally equivalent datasets:
+encoded images with realistic compressed sizes, and token-id sentence
+pairs with realistic length distributions.  The content is random — the
+data path (storage tiers, decode, augmentation, sharding) is what the
+reproduction exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.preprocess import encode_image
+from repro.utils.seeding import RandomState, new_rng
+
+
+@dataclass
+class SyntheticImageDataset:
+    """An ImageNet-like collection of encoded images.
+
+    Parameters
+    ----------
+    num_samples:
+        Dataset size (ImageNet train split is 1,281,167; tests use small
+        values).
+    resolution:
+        Stored resolution of the synthetic JPEGs.
+    num_classes:
+        Label space size (1000 for ImageNet).
+    seed:
+        Label/content seed.
+    """
+
+    num_samples: int
+    resolution: int = 224
+    num_classes: int = 1000
+    seed: int = 0
+    _labels: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {self.num_samples}")
+        if self.num_classes < 1:
+            raise ValueError(f"num_classes must be >= 1, got {self.num_classes}")
+        rng = new_rng(self.seed)
+        self._labels = rng.integers(0, self.num_classes, size=self.num_samples)
+
+    def key(self, index: int) -> str:
+        """Storage key of one sample (the paper's KV cache is keyed by index)."""
+        self._check(index)
+        return f"img-{index:09d}"
+
+    def encoded(self, index: int) -> bytes:
+        """The encoded payload as it would sit on NFS."""
+        self._check(index)
+        return encode_image(index, self.resolution)
+
+    def label(self, index: int) -> int:
+        self._check(index)
+        return int(self._labels[index])
+
+    @property
+    def encoded_sample_bytes(self) -> int:
+        """Size of one encoded sample (all samples are equal-sized here)."""
+        return len(self.encoded(0))
+
+    def epoch_order(self, epoch: int, rng: RandomState | None = None) -> np.ndarray:
+        """Shuffled sample order for one epoch (deterministic per epoch)."""
+        order_rng = rng if rng is not None else new_rng(self.seed + 1000 + epoch)
+        order = np.arange(self.num_samples)
+        order_rng.shuffle(order)
+        return order
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(f"sample {index} out of range [0, {self.num_samples})")
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+@dataclass
+class SyntheticTranslationDataset:
+    """A WMT-like corpus of token-id sentence pairs.
+
+    Sentence lengths follow a clipped log-normal (mean ≈ 25 tokens),
+    vocabulary ids are uniform.  The paper's Transformer treats "one
+    sentence with 256 words" as a sample unit; :meth:`padded_batch`
+    produces fixed-length arrays of that shape.
+    """
+
+    num_samples: int
+    vocab_size: int = 32_000
+    max_len: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {self.num_samples}")
+        rng = new_rng(self.seed)
+        lengths = np.clip(
+            rng.lognormal(mean=3.0, sigma=0.6, size=self.num_samples).astype(int),
+            4,
+            self.max_len,
+        )
+        self._lengths = lengths
+
+    def key(self, index: int) -> str:
+        self._check(index)
+        return f"sent-{index:09d}"
+
+    def sentence_pair(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """(source, target) token id arrays for one sample."""
+        self._check(index)
+        rng = new_rng(self.seed + 7_000_000 + index)
+        src_len = int(self._lengths[index])
+        tgt_len = max(4, int(src_len * rng.uniform(0.8, 1.2)))
+        src = rng.integers(1, self.vocab_size, size=src_len)
+        tgt = rng.integers(1, self.vocab_size, size=min(tgt_len, self.max_len))
+        return src, tgt
+
+    def encoded(self, index: int) -> bytes:
+        src, tgt = self.sentence_pair(index)
+        return (
+            len(src).to_bytes(4, "little")
+            + src.astype(np.int32).tobytes()
+            + tgt.astype(np.int32).tobytes()
+        )
+
+    def padded_batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pad a batch of source/target pairs to ``max_len`` (id 0 = pad)."""
+        srcs = np.zeros((len(indices), self.max_len), dtype=np.int64)
+        tgts = np.zeros((len(indices), self.max_len), dtype=np.int64)
+        for row, index in enumerate(indices):
+            src, tgt = self.sentence_pair(int(index))
+            srcs[row, : len(src)] = src
+            tgts[row, : len(tgt)] = tgt
+        return srcs, tgts
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_samples:
+            raise IndexError(f"sample {index} out of range [0, {self.num_samples})")
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+
+__all__ = ["SyntheticImageDataset", "SyntheticTranslationDataset"]

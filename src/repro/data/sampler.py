@@ -1,0 +1,129 @@
+"""Distributed sampling aligned with the DataCache's node shards.
+
+Synchronous data parallelism needs each of the ``P`` workers to see a
+disjoint slice of every epoch's shuffle, and §4.1's memory cache wants a
+worker's slice to stay inside its node's shard (so memory hits are
+local).  This sampler provides both: a deterministic per-epoch global
+permutation, restricted to the node's modulo shard, split across the
+node's GPUs.
+
+Matches the semantics of the framework samplers the paper's stack uses
+(``tf.data`` sharding / ``DistributedSampler``): call
+:meth:`epoch_indices` with the epoch number — all workers derive the
+same permutation from the shared seed, no coordination needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.utils.seeding import derive_seed, new_rng
+
+
+@dataclass(frozen=True)
+class DistributedSampler:
+    """Epoch-deterministic sampler for one worker of an ``m × n`` cluster.
+
+    Parameters
+    ----------
+    num_samples:
+        Dataset size.
+    topology:
+        The cluster; fixes node count and per-node worker count.
+    rank:
+        This worker's global rank.
+    seed:
+        Shared shuffle seed (identical on all workers).
+    drop_last:
+        Trim each worker's slice to a common length so every worker runs
+        the same number of iterations (required for synchronous SGD).
+    cache_aligned:
+        When True (default), a worker only samples indices owned by its
+        node's memory shard (``index % m == node``, the DataCache rule);
+        when False, the global dataset is split worker-wise without
+        regard to cache locality (the naive baseline).
+    """
+
+    num_samples: int
+    topology: ClusterTopology
+    rank: int
+    seed: int = 0
+    drop_last: bool = True
+    cache_aligned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {self.num_samples}")
+        if not 0 <= self.rank < self.topology.world_size:
+            raise IndexError(
+                f"rank {self.rank} out of range for world size "
+                f"{self.topology.world_size}"
+            )
+
+    @property
+    def node(self) -> int:
+        return self.topology.node_of(self.rank)
+
+    @property
+    def local_rank(self) -> int:
+        return self.topology.local_rank_of(self.rank)
+
+    def _pool(self) -> np.ndarray:
+        """The index pool this worker draws from."""
+        if self.cache_aligned:
+            return np.arange(self.node, self.num_samples, self.topology.num_nodes)
+        return np.arange(self.num_samples)
+
+    def samples_per_worker(self) -> int:
+        """Common per-worker slice length (after ``drop_last``)."""
+        if self.cache_aligned:
+            # Smallest node pool, split across n local workers.
+            m, n = self.topology.num_nodes, self.topology.gpus_per_node
+            smallest_pool = self.num_samples // m
+            return max(1, smallest_pool // n)
+        return max(1, self.num_samples // self.topology.world_size)
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        """This worker's sample indices for one epoch.
+
+        Deterministic in ``(seed, epoch)``; across the whole cluster the
+        per-epoch slices are pairwise disjoint (tested).
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        pool = self._pool()
+        rng = new_rng(derive_seed(self.seed, "sampler-epoch", epoch, "node",
+                                  self.node if self.cache_aligned else "global"))
+        permuted = pool[rng.permutation(pool.size)]
+        if self.cache_aligned:
+            splits = self.topology.gpus_per_node
+            position = self.local_rank
+        else:
+            splits = self.topology.world_size
+            position = self.rank
+        slice_ = permuted[position::splits]
+        if self.drop_last:
+            slice_ = slice_[: self.samples_per_worker()]
+        return slice_
+
+
+def make_samplers(
+    num_samples: int,
+    topology: ClusterTopology,
+    *,
+    seed: int = 0,
+    cache_aligned: bool = True,
+) -> list[DistributedSampler]:
+    """One sampler per global rank."""
+    return [
+        DistributedSampler(
+            num_samples, topology, rank, seed=seed, cache_aligned=cache_aligned
+        )
+        for rank in range(topology.world_size)
+    ]
+
+
+__all__ = ["DistributedSampler", "make_samplers"]

@@ -1,0 +1,94 @@
+"""Fig. 7: gradient aggregation time of four schemes on 16×8 V100s.
+
+NaiveAG (flat sparse All-Gather), TreeAR (NCCL double binary tree),
+2DTAR (2D-torus) and HiTopKComm, over tensor sizes 1M–256M elements with
+FP16 wire format and ρ = 0.01 for the sparse schemes (paper caption).
+The ordering to reproduce: NaiveAG ≫ TreeAR > 2DTAR ≫ HiTopKComm, with
+NaiveAG worst at scale despite moving less raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cloud_presets import paper_testbed
+from repro.cluster.network import NetworkModel
+from repro.comm.dense import Torus2DAllReduce, TreeAllReduce
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.utils.tables import print_table
+
+SMALL_SIZES = (1_000_000, 2_500_000, 5_000_000, 10_000_000, 15_000_000)
+LARGE_SIZES = (50_000_000, 100_000_000, 150_000_000, 200_000_000, 250_000_000)
+
+DENSITY = 0.01  # "we use the density ρ = 0.01"
+WIRE_BYTES = 2  # "we use the 16-bit floating point (FP16) for each element"
+
+
+@dataclass(frozen=True)
+class AggregationPoint:
+    scheme: str
+    d: int
+    seconds: float
+
+
+def make_schemes(network: NetworkModel):
+    """The four Fig. 7 schemes with the paper's wire formats."""
+    return (
+        NaiveAllGather(
+            network,
+            density=DENSITY,
+            value_bytes=WIRE_BYTES,
+            index_bytes=4,
+            error_feedback=False,
+        ),
+        TreeAllReduce(network, wire_bytes=WIRE_BYTES),
+        Torus2DAllReduce(network, wire_bytes=WIRE_BYTES),
+        HiTopKComm(
+            network,
+            density=DENSITY,
+            value_bytes=WIRE_BYTES,
+            index_bytes=4,
+            dense_wire_bytes=WIRE_BYTES,
+            error_feedback=False,
+        ),
+    )
+
+
+def run(
+    sizes: tuple[int, ...] = SMALL_SIZES + LARGE_SIZES,
+    network: NetworkModel | None = None,
+) -> list[AggregationPoint]:
+    network = network if network is not None else paper_testbed()
+    schemes = make_schemes(network)
+    points: list[AggregationPoint] = []
+    for d in sizes:
+        for scheme in schemes:
+            points.append(
+                AggregationPoint(scheme.name, d, scheme.time_model(d).total)
+            )
+    return points
+
+
+def main() -> None:
+    points = run()
+    by_size: dict[int, dict[str, float]] = {}
+    for p in points:
+        by_size.setdefault(p.d, {})[p.scheme] = p.seconds
+    scheme_names = ["NaiveAG", "TreeAR", "2DTAR", "HiTopKComm"]
+    rows = [
+        [f"{d / 1e6:g}M"] + [round(by_size[d][s], 4) for s in scheme_names]
+        for d in sorted(by_size)
+    ]
+    print_table(
+        ["Elements"] + scheme_names,
+        rows,
+        title=(
+            "Fig. 7: data aggregation time (s), 16 nodes x 8 V100, 25GbE, "
+            f"FP16, rho={DENSITY}"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

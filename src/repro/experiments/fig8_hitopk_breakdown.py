@@ -1,0 +1,84 @@
+"""Fig. 8: HiTopKComm per-step time breakdown vs density.
+
+For the two training-relevant gradient sizes — 25M (ResNet-50) and 110M
+(Transformer) parameters, FP32 elements — at densities
+ρ ∈ {0.001, 0.002, 0.01, 0.02}.  The paper's observations: the
+inter-node All-Gather dominates, MSTopK is negligible, and the two
+intra-node steps are small thanks to NVLink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cloud_presets import paper_testbed
+from repro.cluster.network import NetworkModel
+from repro.comm.breakdown import TimeBreakdown
+from repro.comm.hitopkcomm import (
+    HiTopKComm,
+    STEP_INTER_ALLGATHER,
+    STEP_INTRA_ALLGATHER,
+    STEP_MSTOPK,
+    STEP_REDUCE_SCATTER,
+)
+from repro.utils.tables import print_table
+
+DENSITIES = (0.001, 0.002, 0.01, 0.02)
+MODELS = (("ResNet-50", 25_000_000), ("Transformer", 110_000_000))
+STEPS = (
+    STEP_REDUCE_SCATTER,
+    STEP_MSTOPK,
+    STEP_INTER_ALLGATHER,
+    STEP_INTRA_ALLGATHER,
+)
+
+
+@dataclass(frozen=True)
+class BreakdownPoint:
+    model: str
+    d: int
+    density: float
+    breakdown: TimeBreakdown
+
+
+def run(network: NetworkModel | None = None) -> list[BreakdownPoint]:
+    network = network if network is not None else paper_testbed()
+    points: list[BreakdownPoint] = []
+    for model_name, d in MODELS:
+        for density in DENSITIES:
+            scheme = HiTopKComm(
+                network,
+                density=density,
+                value_bytes=4,  # "both of which are with FP32 for each element"
+                index_bytes=4,
+                dense_wire_bytes=4,
+                error_feedback=False,
+            )
+            points.append(
+                BreakdownPoint(model_name, d, density, scheme.time_model(d))
+            )
+    return points
+
+
+def main() -> None:
+    points = run()
+    for model_name, d in MODELS:
+        rows = []
+        for p in points:
+            if p.model != model_name:
+                continue
+            rows.append(
+                [p.density]
+                + [round(p.breakdown.get(s) * 1000, 3) for s in STEPS]
+                + [round(p.breakdown.total * 1000, 3)]
+            )
+        print_table(
+            ["Density", "ReduceScatter (ms)", "MSTopK (ms)", "Inter-AllGather (ms)",
+             "Intra-AllGather (ms)", "Total (ms)"],
+            rows,
+            title=f"Fig. 8: HiTopKComm breakdown, {model_name} ({d / 1e6:g}M params, FP32)",
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Run every experiment harness in paper order.
+
+``python -m repro.experiments.runner`` regenerates all tables/figures;
+``--fast`` trims the expensive sweeps (Fig. 6 CPU measurement, long
+convergence runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig1_breakdown,
+    fig6_topk_ops,
+    fig7_aggregation,
+    fig8_hitopk_breakdown,
+    fig9_datacache,
+    fig10_convergence,
+    pto_speedup,
+    table1_instances,
+    table2_validation,
+    table3_throughput,
+    table4_resolutions,
+    table5_dawnbench,
+)
+
+EXPERIMENTS = (
+    ("Table 1", table1_instances.main),
+    ("Fig. 1", fig1_breakdown.main),
+    ("Fig. 6", fig6_topk_ops.main),
+    ("Fig. 7", fig7_aggregation.main),
+    ("Fig. 8", fig8_hitopk_breakdown.main),
+    ("Fig. 9", fig9_datacache.main),
+    ("PTO (§5.4)", pto_speedup.main),
+    ("Fig. 10", fig10_convergence.main),
+    ("Table 2", table2_validation.main),
+    ("Table 3", table3_throughput.main),
+    ("Table 4", table4_resolutions.main),
+    ("Table 5", table5_dawnbench.main),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="substring filter on experiment names (e.g. 'Fig. 7')",
+    )
+    args = parser.parse_args(argv)
+
+    for name, entry in EXPERIMENTS:
+        if args.only and args.only.lower() not in name.lower():
+            continue
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        start = time.perf_counter()
+        entry()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

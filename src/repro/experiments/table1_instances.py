@@ -1,0 +1,23 @@
+"""Table 1: 8-V100 computing instances on public clouds."""
+
+from __future__ import annotations
+
+from repro.cluster.cloud_presets import table1_rows
+from repro.utils.tables import print_table
+
+
+def run() -> list[tuple[str, str, int, str, int]]:
+    """The three instance rows (cloud, instance, memory, storage, network)."""
+    return table1_rows()
+
+
+def main() -> None:
+    print_table(
+        ["Cloud", "Instance", "Memory (GiB)", "Storage", "Network (Gbps)"],
+        run(),
+        title="Table 1: 8 V100 GPUs computing instances on clouds",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Table 3: system throughput and scaling efficiency (128 GPUs)."""
+
+from __future__ import annotations
+
+from repro.perf.throughput import PAPER_TABLE3, ThroughputRow, table3_rows
+from repro.utils.tables import print_table
+
+
+def run() -> list[ThroughputRow]:
+    return table3_rows()
+
+
+def main() -> None:
+    rows = run()
+    table = []
+    for r in rows:
+        paper_t, paper_se = PAPER_TABLE3[r.workload][r.scheme]
+        table.append(
+            [
+                r.workload,
+                r.scheme,
+                round(r.throughput),
+                round(paper_t),
+                round(100 * r.scaling_efficiency, 1),
+                paper_se,
+            ]
+        )
+    print_table(
+        ["Model", "Scheme", "Throughput", "paper", "SE %", "paper"],
+        table,
+        title="Table 3: throughput (samples/s) and scaling efficiency, 128 V100s, 25GbE",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Table 4: DAWNBench-schedule throughput per input resolution."""
+
+from __future__ import annotations
+
+from repro.perf.dawnbench import PAPER_TABLE4, DawnbenchSimulator, PhaseResult
+
+
+def run() -> list[PhaseResult]:
+    sim = DawnbenchSimulator()
+    return [sim.phase_result(p) for p in sim.schedule.phases]
+
+
+def main() -> None:
+    from repro.utils.tables import print_table
+
+    rows = []
+    for r in run():
+        res = r.phase.resolution
+        paper_single, paper_sys, paper_se = PAPER_TABLE4[res]
+        rows.append(
+            [
+                r.phase.epochs,
+                f"{res}x{res}",
+                r.phase.local_batch,
+                round(r.single_gpu_throughput),
+                round(paper_single),
+                round(r.system_throughput),
+                round(paper_sys),
+                round(100 * r.scaling_efficiency, 1),
+                paper_se,
+            ]
+        )
+    print_table(
+        ["Epochs", "Input", "BS", "1-GPU", "paper", "128-GPU", "paper", "SE %", "paper"],
+        rows,
+        title="Table 4: system throughput (samples/s) per input resolution",
+    )
+
+
+if __name__ == "__main__":
+    main()

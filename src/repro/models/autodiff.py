@@ -1,0 +1,523 @@
+"""A small reverse-mode autodiff tape over NumPy.
+
+The convergence experiments (paper Fig. 10 / Table 2) need *real*
+training through the actual sparsified-communication pipeline, and no
+deep-learning framework is available offline — so this module provides
+the minimum viable tape: broadcast-aware elementwise ops, (batched)
+matmul, reductions, shape ops, ReLU/tanh, softmax / fused softmax
+cross-entropy, layer norm, embedding lookup and an im2col convolution.
+
+Design follows the classic micro-tape pattern: each op builds a node
+with a closure that propagates the output gradient to its parents;
+:meth:`Tensor.backward` runs the closures in reverse topological order.
+Gradient correctness is property-tested against central finite
+differences in ``tests/models/test_autodiff.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` down to ``shape`` (reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the original.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with a gradient slot and a backward closure."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        *,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[Array], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Array | None = None
+        self.requires_grad = requires_grad
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # -- basic protocol -------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, grad={'set' if self.grad is not None else 'none'}{tag})"
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def _accumulate(self, grad: Array) -> None:
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # -- autodiff engine -------------------------------------------------------
+    def backward(self, grad: Array | None = None) -> None:
+        """Reverse-mode sweep from this tensor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar output"
+                )
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in seen:
+                    continue
+                seen.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    stack.append((parent, False))
+
+        visit(self)
+        self._accumulate(np.asarray(grad))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- operators --------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        return add(self, _wrap(other))
+
+    def __radd__(self, other) -> "Tensor":
+        return add(_wrap(other), self)
+
+    def __sub__(self, other) -> "Tensor":
+        return add(self, neg(_wrap(other)))
+
+    def __rsub__(self, other) -> "Tensor":
+        return add(_wrap(other), neg(self))
+
+    def __mul__(self, other) -> "Tensor":
+        return mul(self, _wrap(other))
+
+    def __rmul__(self, other) -> "Tensor":
+        return mul(_wrap(other), self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _wrap(other)
+        return mul(self, power(other, -1.0))
+
+    def __neg__(self) -> "Tensor":
+        return neg(self)
+
+    def __matmul__(self, other) -> "Tensor":
+        return matmul(self, _wrap(other))
+
+    # -- convenience methods -----------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return tensor_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return tensor_mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        return reshape(self, shape if len(shape) > 1 else shape[0])
+
+    def transpose(self, axes=None) -> "Tensor":
+        return transpose(self, axes)
+
+    def relu(self) -> "Tensor":
+        return relu(self)
+
+    def tanh(self) -> "Tensor":
+        return tanh(self)
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _node(
+    data: Array, parents: tuple[Tensor, ...], backward: Callable[[Array], None]
+) -> Tensor:
+    requires = any(p.requires_grad for p in parents)
+    return Tensor(
+        data,
+        requires_grad=requires,
+        _parents=tuple(p for p in parents),
+        _backward=backward if requires else None,
+    )
+
+
+# -- elementwise ---------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad)
+        b._accumulate(grad)
+
+    return _node(out_data, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    def backward(grad: Array) -> None:
+        a._accumulate(-grad)
+
+    return _node(-a.data, (a,), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad * b.data)
+        b._accumulate(grad * a.data)
+
+    return _node(out_data, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out_data = a.data**exponent
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad * exponent * a.data ** (exponent - 1))
+
+    return _node(out_data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out_data = np.exp(a.data)
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad * out_data)
+
+    return _node(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    def backward(grad: Array) -> None:
+        a._accumulate(grad / a.data)
+
+    return _node(np.log(a.data), (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad * mask)
+
+    return _node(a.data * mask, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out_data = np.tanh(a.data)
+
+    def backward(grad: Array) -> None:
+        a._accumulate(grad * (1.0 - out_data**2))
+
+    return _node(out_data, (a,), backward)
+
+
+# -- linear algebra --------------------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix multiply with NumPy batching semantics."""
+    out_data = a.data @ b.data
+
+    def backward(grad: Array) -> None:
+        a_data, b_data = a.data, b.data
+        if b_data.ndim == 1:
+            grad_a = np.multiply.outer(grad, b_data) if a_data.ndim > 1 else grad * b_data
+            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape))
+            grad_b = (a_data * grad[..., None]).sum(axis=tuple(range(a_data.ndim - 1)))
+            b._accumulate(grad_b)
+            return
+        if a_data.ndim == 1:
+            grad_a = grad @ np.swapaxes(b_data, -1, -2)
+            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape))
+            grad_b = np.multiply.outer(a_data, grad)
+            b._accumulate(_unbroadcast(np.asarray(grad_b), b_data.shape))
+            return
+        grad_a = grad @ np.swapaxes(b_data, -1, -2)
+        grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        a._accumulate(_unbroadcast(grad_a, a_data.shape))
+        b._accumulate(_unbroadcast(grad_b, b_data.shape))
+
+    return _node(out_data, (a, b), backward)
+
+
+# -- reductions and shape ----------------------------------------------------------
+
+
+def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad)
+        if axis is None:
+            a._accumulate(np.broadcast_to(g, a.data.shape))
+            return
+        if not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate(np.broadcast_to(g, a.data.shape))
+
+    return _node(out_data, (a,), backward)
+
+
+def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.data.shape[ax] for ax in axis]))
+    else:
+        count = a.data.shape[axis]
+    summed = tensor_sum(a, axis=axis, keepdims=keepdims)
+    return mul(summed, Tensor(1.0 / count))
+
+
+def reshape(a: Tensor, shape) -> Tensor:
+    original = a.data.shape
+
+    def backward(grad: Array) -> None:
+        a._accumulate(np.asarray(grad).reshape(original))
+
+    return _node(a.data.reshape(shape), (a,), backward)
+
+
+def transpose(a: Tensor, axes=None) -> Tensor:
+    def backward(grad: Array) -> None:
+        if axes is None:
+            a._accumulate(np.asarray(grad).T)
+        else:
+            inverse = np.argsort(axes)
+            a._accumulate(np.transpose(np.asarray(grad), inverse))
+
+    return _node(np.transpose(a.data, axes), (a,), backward)
+
+
+# -- fused nn ops --------------------------------------------------------------------
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad)
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        a._accumulate(out_data * (g - dot))
+
+    return _node(out_data, (a,), backward)
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over rows of ``logits`` (labels are class ids).
+
+    Supports ``(N, C)`` logits or ``(N, T, C)`` sequence logits with
+    ``(N, T)`` labels; label id < 0 marks padding (ignored).
+    """
+    labels = np.asarray(labels)
+    data = logits.data
+    if data.ndim == 3:
+        flat_logits = data.reshape(-1, data.shape[-1])
+        flat_labels = labels.reshape(-1)
+    else:
+        flat_logits = data
+        flat_labels = labels
+    valid = flat_labels >= 0
+    count = max(1, int(valid.sum()))
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    rows = np.arange(flat_labels.size)
+    picked = np.where(valid, log_probs[rows, np.where(valid, flat_labels, 0)], 0.0)
+    loss_value = -picked.sum() / count
+    probs = np.exp(log_probs)
+
+    def backward(grad: Array) -> None:
+        g = float(np.asarray(grad))
+        dlogits = probs.copy()
+        dlogits[rows[valid], flat_labels[valid]] -= 1.0
+        dlogits[~valid] = 0.0
+        dlogits *= g / count
+        logits._accumulate(dlogits.reshape(data.shape))
+
+    return _node(np.asarray(loss_value), (logits,), backward)
+
+
+def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mu = a.data.mean(axis=-1, keepdims=True)
+    var = a.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    x_hat = (a.data - mu) * inv
+    out_data = x_hat * gamma.data + beta.data
+    dim = a.data.shape[-1]
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad)
+        gamma._accumulate((g * x_hat).sum(axis=tuple(range(g.ndim - 1))))
+        beta._accumulate(g.sum(axis=tuple(range(g.ndim - 1))))
+        gx = g * gamma.data
+        term1 = gx
+        term2 = gx.mean(axis=-1, keepdims=True)
+        term3 = x_hat * (gx * x_hat).mean(axis=-1, keepdims=True)
+        a._accumulate(inv * (term1 - term2 - term3))
+
+    return _node(out_data, (a, gamma, beta), backward)
+
+
+def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup with scatter-add backward."""
+    ids = np.asarray(ids)
+    out_data = table.data[ids]
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad)
+        dtable = np.zeros_like(table.data)
+        np.add.at(dtable, ids.reshape(-1), g.reshape(-1, table.data.shape[1]))
+        table._accumulate(dtable)
+
+    return _node(out_data, (table,), backward)
+
+
+# -- convolution (im2col) --------------------------------------------------------------
+
+
+def _im2col(x: Array, kernel: int, stride: int) -> tuple[Array, int, int]:
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    shape = (n, c, kernel, kernel, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = cols.reshape(n, c * kernel * kernel, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
+    """NCHW convolution via im2col; ``weight`` is ``(out_c, in_c, k, k)``."""
+    if padding:
+        padded = np.pad(
+            x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    else:
+        padded = x.data
+    out_c, in_c, kernel, kernel2 = weight.data.shape
+    if kernel != kernel2:
+        raise ValueError("only square kernels supported")
+    cols, out_h, out_w = _im2col(padded, kernel, stride)
+    w_mat = weight.data.reshape(out_c, -1)
+    out = np.einsum("of,nfl->nol", w_mat, cols)
+    n = x.data.shape[0]
+    out_data = out.reshape(n, out_c, out_h, out_w)
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad).reshape(n, out_c, -1)
+        dw = np.einsum("nol,nfl->of", g, cols).reshape(weight.data.shape)
+        weight._accumulate(dw)
+        dcols = np.einsum("of,nol->nfl", w_mat, g)
+        dpadded = np.zeros_like(padded)
+        dcols = dcols.reshape(n, in_c, kernel, kernel, out_h, out_w)
+        for i in range(kernel):
+            for j in range(kernel):
+                dpadded[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ] += dcols[:, :, i, j]
+        if padding:
+            dpadded = dpadded[:, :, padding:-padding, padding:-padding]
+        x._accumulate(dpadded)
+
+    return _node(out_data, (x, weight), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling (NCHW)."""
+    n, c, h, w = x.data.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by kernel {kernel}")
+    out_h, out_w = h // kernel, w // kernel
+    reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out_data = reshaped.mean(axis=(3, 5))
+
+    def backward(grad: Array) -> None:
+        g = np.asarray(grad) / (kernel * kernel)
+        expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
+        x._accumulate(expanded)
+
+    return _node(out_data, (x,), backward)
+
+
+__all__ = [
+    "Tensor",
+    "add",
+    "neg",
+    "mul",
+    "power",
+    "exp",
+    "log",
+    "relu",
+    "tanh",
+    "matmul",
+    "tensor_sum",
+    "tensor_mean",
+    "reshape",
+    "transpose",
+    "softmax",
+    "softmax_cross_entropy",
+    "layer_norm",
+    "embedding",
+    "conv2d",
+    "avg_pool2d",
+]

@@ -1,0 +1,17 @@
+"""Trainable NumPy models for the convergence experiments.
+
+Each model exposes the same interface the distributed trainer consumes:
+
+* ``init_params(rng) -> dict[str, np.ndarray]``
+* ``loss_and_grad(params, x, y) -> (loss, grads, metrics)``
+
+Parameters are plain NumPy arrays (the trainer flattens them for
+communication); the autodiff tape is an internal detail.
+"""
+
+from repro.models.nn.convnet import SmallConvNet
+from repro.models.nn.mlp import MLPClassifier
+from repro.models.nn.resnet_tiny import TinyResNet
+from repro.models.nn.transformer import TinyTransformer
+
+__all__ = ["MLPClassifier", "SmallConvNet", "TinyResNet", "TinyTransformer"]

@@ -1,0 +1,87 @@
+"""MLP classifier — the ResNet-50 stand-in for convergence runs.
+
+A two/three-hidden-layer ReLU network on flattened inputs.  At the
+paper's scale the convergence claim is about the *optimizer pipeline*
+(error feedback, hierarchical selection), not the architecture, so a
+model that trains in seconds is the right substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.autodiff import Tensor, softmax_cross_entropy
+from repro.utils.seeding import RandomState
+
+
+class MLPClassifier:
+    """Fully connected ReLU classifier.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened input dimensionality.
+    hidden:
+        Hidden layer widths.
+    num_classes:
+        Output classes.
+    """
+
+    def __init__(
+        self, input_dim: int, hidden: tuple[int, ...] = (64, 64), num_classes: int = 10
+    ) -> None:
+        if input_dim < 1 or num_classes < 2:
+            raise ValueError("input_dim must be >= 1 and num_classes >= 2")
+        self.input_dim = input_dim
+        self.hidden = tuple(hidden)
+        self.num_classes = num_classes
+
+    def init_params(self, rng: RandomState) -> dict[str, np.ndarray]:
+        """He-initialised weights; zero biases."""
+        params: dict[str, np.ndarray] = {}
+        dims = [self.input_dim, *self.hidden, self.num_classes]
+        for i, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            scale = np.sqrt(2.0 / fan_in)
+            params[f"fc{i}.weight"] = rng.normal(0.0, scale, size=(fan_in, fan_out))
+            params[f"fc{i}.bias"] = np.zeros(fan_out)
+        return params
+
+    def logits(self, params: dict[str, Tensor], x: Tensor) -> Tensor:
+        h = x
+        n_layers = len(self.hidden) + 1
+        for i in range(n_layers):
+            h = h @ params[f"fc{i}.weight"] + params[f"fc{i}.bias"]
+            if i < n_layers - 1:
+                h = h.relu()
+        return h
+
+    def loss_and_grad(
+        self, params: dict[str, np.ndarray], x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray], dict[str, float]]:
+        """Forward + backward on one mini-batch."""
+        tensors = {k: Tensor(v, requires_grad=True) for k, v in params.items()}
+        x_t = Tensor(np.asarray(x).reshape(len(x), -1))
+        logits = self.logits(tensors, x_t)
+        loss = softmax_cross_entropy(logits, y)
+        loss.backward()
+        grads = {k: t.grad for k, t in tensors.items()}
+        accuracy = float((logits.data.argmax(axis=1) == np.asarray(y)).mean())
+        return float(loss.data), grads, {"accuracy": accuracy}
+
+    def predict(self, params: dict[str, np.ndarray], x: np.ndarray) -> np.ndarray:
+        tensors = {k: Tensor(v) for k, v in params.items()}
+        logits = self.logits(tensors, Tensor(np.asarray(x).reshape(len(x), -1)))
+        return logits.data.argmax(axis=1)
+
+    def evaluate(
+        self, params: dict[str, np.ndarray], x: np.ndarray, y: np.ndarray, *, topk: int = 1
+    ) -> float:
+        """Top-k accuracy (the paper reports top-5 for CNNs)."""
+        tensors = {k: Tensor(v) for k, v in params.items()}
+        logits = self.logits(tensors, Tensor(np.asarray(x).reshape(len(x), -1))).data
+        topk = min(topk, logits.shape[1])
+        ranked = np.argsort(logits, axis=1)[:, -topk:]
+        return float(np.any(ranked == np.asarray(y)[:, None], axis=1).mean())
+
+
+__all__ = ["MLPClassifier"]

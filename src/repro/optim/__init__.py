@@ -1,0 +1,33 @@
+"""Optimizers and learning-rate schedules.
+
+Large-batch training (global batch 32K in the paper's §5.5) needs
+layer-wise adaptive scaling to converge — LARS (You et al. 2018) for
+CNNs, LAMB (You et al. 2020) for attention models.  Plain momentum SGD
+is the within-layer update rule underneath both.
+"""
+
+from repro.optim.lars import LARS, lars_coefficient, lars_coefficients
+from repro.optim.lamb import LAMB
+from repro.optim.schedules import (
+    LRSchedule,
+    PolynomialDecay,
+    ProgressiveResizeSchedule,
+    ResolutionPhase,
+    StepDecay,
+    WarmupSchedule,
+)
+from repro.optim.sgd import SGD
+
+__all__ = [
+    "SGD",
+    "LARS",
+    "LAMB",
+    "lars_coefficient",
+    "lars_coefficients",
+    "LRSchedule",
+    "WarmupSchedule",
+    "StepDecay",
+    "PolynomialDecay",
+    "ProgressiveResizeSchedule",
+    "ResolutionPhase",
+]

@@ -1,0 +1,132 @@
+"""LARS — layer-wise adaptive rate scaling (You et al. 2018; paper Eq. 11).
+
+The layer-wise learning rate is
+
+    λ(l) = γ · η · ||w(l)|| / (||g(l)|| + ε ||w(l)||),
+
+where γ is the trust coefficient, η the global rate and ε the weight
+decay.  The paper's PTO (§4.2) parallelises exactly this computation;
+:func:`lars_coefficient` is the per-layer kernel both the serial and the
+PTO paths share, so their results are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.optim.sgd import SGD
+
+
+def lars_coefficient(
+    weight: np.ndarray,
+    grad: np.ndarray,
+    *,
+    eta: float,
+    trust_coefficient: float = 0.001,
+    weight_decay: float = 1e-4,
+) -> float:
+    """The layer-wise learning rate λ(l) of paper Eq. (11)."""
+    w_norm = float(np.linalg.norm(weight))
+    g_norm = float(np.linalg.norm(grad))
+    if w_norm == 0.0 or g_norm == 0.0:
+        # Convention (also used by reference implementations): fall back
+        # to the global rate when norms are degenerate (e.g. at init of
+        # zero-initialised biases).
+        return eta
+    return trust_coefficient * eta * w_norm / (g_norm + weight_decay * w_norm)
+
+
+def lars_coefficients(
+    weights: Sequence[np.ndarray],
+    grads: Sequence[np.ndarray],
+    *,
+    eta: float,
+    trust_coefficient: float = 0.001,
+    weight_decay: float = 1e-4,
+) -> np.ndarray:
+    """Vector of λ(l) for all layers (the serial reference for PTO)."""
+    if len(weights) != len(grads):
+        raise ValueError(f"weights ({len(weights)}) and grads ({len(grads)}) must align")
+    return np.asarray(
+        [
+            lars_coefficient(
+                w,
+                g,
+                eta=eta,
+                trust_coefficient=trust_coefficient,
+                weight_decay=weight_decay,
+            )
+            for w, g in zip(weights, grads)
+        ]
+    )
+
+
+class LARS:
+    """LARS optimizer: per-layer trust ratio on top of momentum SGD.
+
+    Biases and normalisation parameters are conventionally excluded from
+    LARS scaling (they use the global rate); parameters whose name
+    contains any of ``skip_keywords`` are excluded.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+        trust_coefficient: float = 0.001,
+        skip_keywords: tuple[str, ...] = ("bias", "bn", "norm"),
+    ) -> None:
+        self.lr = lr
+        self.trust_coefficient = trust_coefficient
+        self.weight_decay = weight_decay
+        self.skip_keywords = skip_keywords
+        self._sgd = SGD(lr=lr, momentum=momentum, weight_decay=weight_decay)
+
+    def _scaled(self, name: str) -> bool:
+        lowered = name.lower()
+        return not any(kw in lowered for kw in self.skip_keywords)
+
+    def learning_rates(
+        self, params: dict[str, np.ndarray], grads: Mapping[str, np.ndarray], *,
+        lr: float | None = None,
+    ) -> dict[str, float]:
+        """λ per parameter (global rate for skipped parameters)."""
+        eta = self.lr if lr is None else lr
+        rates: dict[str, float] = {}
+        for name, w in params.items():
+            if self._scaled(name):
+                rates[name] = lars_coefficient(
+                    w,
+                    np.asarray(grads[name]),
+                    eta=eta,
+                    trust_coefficient=self.trust_coefficient,
+                    weight_decay=self.weight_decay,
+                )
+            else:
+                rates[name] = eta
+        return rates
+
+    def step(
+        self,
+        params: dict[str, np.ndarray],
+        grads: Mapping[str, np.ndarray],
+        *,
+        lr: float | None = None,
+        precomputed_rates: Mapping[str, float] | None = None,
+    ) -> None:
+        """One LARS update.  ``precomputed_rates`` lets the PTO path inject
+        the all-gathered layer rates instead of recomputing them."""
+        rates = (
+            dict(precomputed_rates)
+            if precomputed_rates is not None
+            else self.learning_rates(params, grads, lr=lr)
+        )
+        for name, w in params.items():
+            single = {name: w}
+            self._sgd.step(single, {name: np.asarray(grads[name])}, lr=rates[name])
+
+
+__all__ = ["LARS", "lars_coefficient", "lars_coefficients"]

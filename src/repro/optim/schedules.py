@@ -1,0 +1,148 @@
+"""Learning-rate and input-resolution schedules.
+
+Two schedule families matter for the reproduction:
+
+* **Warmup + decay** — "the warmup process is necessary to preserve the
+  model accuracy" (§5.6, citing Goyal et al. 2017);
+* **Progressive resizing** — the DAWNBench recipe (§5.6): 13 epochs at
+  96², 11 at 128², 3 at 224², 1 at 288² with halved batch size.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class LRSchedule(abc.ABC):
+    """Learning rate as a function of (fractional) epoch."""
+
+    @abc.abstractmethod
+    def lr(self, epoch: float) -> float:
+        ...
+
+    def __call__(self, epoch: float) -> float:
+        return self.lr(epoch)
+
+
+@dataclass(frozen=True)
+class WarmupSchedule(LRSchedule):
+    """Linear warmup from ``initial`` to ``peak``, then delegate."""
+
+    peak: float
+    warmup_epochs: float
+    after: LRSchedule | None = None
+    initial: float = 0.0
+
+    def lr(self, epoch: float) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        if self.warmup_epochs > 0 and epoch < self.warmup_epochs:
+            frac = epoch / self.warmup_epochs
+            return self.initial + frac * (self.peak - self.initial)
+        if self.after is None:
+            return self.peak
+        return self.after.lr(epoch - self.warmup_epochs)
+
+
+@dataclass(frozen=True)
+class StepDecay(LRSchedule):
+    """Multiply by ``factor`` at each milestone epoch (ResNet recipe)."""
+
+    base: float
+    milestones: tuple[float, ...] = (30.0, 60.0, 80.0)
+    factor: float = 0.1
+
+    def lr(self, epoch: float) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        rate = self.base
+        for milestone in self.milestones:
+            if epoch >= milestone:
+                rate *= self.factor
+        return rate
+
+
+@dataclass(frozen=True)
+class PolynomialDecay(LRSchedule):
+    """``base * (1 - epoch/total)^power`` (the LARS-paper decay)."""
+
+    base: float
+    total_epochs: float
+    power: float = 2.0
+    floor: float = 0.0
+
+    def lr(self, epoch: float) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        frac = min(1.0, epoch / self.total_epochs)
+        return self.floor + (self.base - self.floor) * (1.0 - frac) ** self.power
+
+
+@dataclass(frozen=True)
+class ResolutionPhase:
+    """One phase of a progressive-resizing schedule (one Table 4 row)."""
+
+    epochs: int
+    resolution: int
+    local_batch: int
+    comm_scheme: str  # "mstopk" or "2dtar" — §5.6 switches mid-run
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {self.resolution}")
+        if self.local_batch < 1:
+            raise ValueError(f"local_batch must be >= 1, got {self.local_batch}")
+
+
+@dataclass(frozen=True)
+class ProgressiveResizeSchedule:
+    """The DAWNBench 28-epoch recipe (§5.6, Table 4).
+
+    "we use MSTopK-SGD to train the model in the first 13 epochs ...
+    After that, we switch to use 2DTAR-SGD to balance the convergence
+    speed and the system throughput."
+    """
+
+    phases: tuple[ResolutionPhase, ...]
+
+    @property
+    def total_epochs(self) -> int:
+        return sum(p.epochs for p in self.phases)
+
+    def phase_at(self, epoch: int) -> ResolutionPhase:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        remaining = epoch
+        for phase in self.phases:
+            if remaining < phase.epochs:
+                return phase
+            remaining -= phase.epochs
+        raise IndexError(
+            f"epoch {epoch} beyond schedule of {self.total_epochs} epochs"
+        )
+
+    @staticmethod
+    def dawnbench_28_epoch() -> "ProgressiveResizeSchedule":
+        """The paper's record run schedule (Table 4)."""
+        return ProgressiveResizeSchedule(
+            phases=(
+                ResolutionPhase(13, 96, 256, "mstopk"),
+                ResolutionPhase(11, 128, 256, "2dtar"),
+                ResolutionPhase(3, 224, 256, "2dtar"),
+                ResolutionPhase(1, 288, 128, "2dtar"),
+            )
+        )
+
+
+__all__ = [
+    "LRSchedule",
+    "WarmupSchedule",
+    "StepDecay",
+    "PolynomialDecay",
+    "ResolutionPhase",
+    "ProgressiveResizeSchedule",
+]

@@ -1,0 +1,110 @@
+"""Calibration constants for the performance model.
+
+Every constant is pinned to a measurement the paper reports; the unit
+tests in ``tests/perf/test_calibration.py`` cross-check the derived
+quantities against the corresponding paper numbers (with generous
+tolerances — we reproduce shape, not microseconds).
+
+Summary of anchors:
+
+* Fig. 1 — Dense-SGD 224² iteration ≈ 0.67 s with I/O ≈ 0.09 s and
+  communication the largest bar; TopK-SGD compression ≈ 0.239 s vs
+  FF&BP 0.204 s.
+* §5.5.2 — single-GPU baselines 1150 / 560 / 32 samples/s.
+* Table 3 — Dense 64000, 2DTAR 134656, MSTopK 133376 samples/s on
+  ResNet-50 224² (and the other three workloads).
+* §5.4 — LARS 11 ms → 7 ms (ResNet-50), 30 ms → 14 ms (Transformer).
+* Fig. 9 — naive I/O ≈ 10× DataCache I/O; ~2× end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants of the iteration-time model."""
+
+    # -- overlap ------------------------------------------------------------
+    #: Fraction of FF&BP time a *dense* collective can hide behind
+    #: (wait-free backprop + tensor fusion overlap ~25% of the backward
+    #: pass ≈ 15% of FF&BP on these workloads).  Fitted to Table 3's
+    #: Dense/2DTAR columns.
+    dense_overlap_fraction: float = 0.15
+    #: The sparse path cannot pipeline with backprop (selection needs the
+    #: reduce-scattered shard of each fused buffer) — no overlap, plus a
+    #: fixed pack/unpack overhead per iteration.  Fitted so MSTopK-SGD
+    #: lands slightly *below* 2DTAR-SGD at ResNet-50 224² (Table 3).
+    sparse_pipeline_overhead: float = 0.006
+
+    # -- fixed per-iteration costs -------------------------------------------
+    #: Framework synchronisation / scheduling per iteration (Horovod
+    #: negotiation, kernel queue flushes).
+    sync_overhead: float = 0.005
+
+    # -- wire formats -----------------------------------------------------------
+    #: The Horovod TreeAR baseline all-reduces FP32 gradients; the
+    #: optimized CommLib schemes (2DTAR, HiTopKComm) use FP16 ("we enable
+    #: the mixed-precision training technique", §5.5.2).
+    dense_baseline_wire_bytes: int = 4
+    commlib_wire_bytes: int = 2
+    #: Sparse exchange: FP32 values + int32 indices (Eq. 3's accounting).
+    sparse_value_bytes: int = 4
+    sparse_index_bytes: int = 4
+
+    # -- training sparsity ---------------------------------------------------------
+    #: k = 0.001 d — the operator benchmark's selection ratio (§5.2) and
+    #: the end-to-end training density.
+    training_density: float = 0.001
+
+    # -- I/O path ------------------------------------------------------------------
+    #: Synthetic-JPEG compression ratio (bytes per pixel).
+    encoded_bytes_per_pixel: float = 0.6
+    #: Per-client NFS (CFS) sequential read bandwidth.
+    nfs_bandwidth: float = 300e6
+    #: JPEG decode throughput per worker process (bytes of *pixels*/s).
+    decode_bytes_per_sec: float = 80e6
+    #: Augmentation throughput (bytes of float32 pixels/s).  Crop +
+    #: mirror + normalise are cheap memory-bound passes; calibrated so
+    #: the cached-path I/O reduction exceeds Fig. 9's ">10x" claim.
+    augment_bytes_per_sec: float = 800e6
+    #: Memory-cache read bandwidth.
+    memory_read_bandwidth: float = 10e9
+    #: Input-pipeline worker processes in the 128-GPU system (Fig. 1);
+    #: the Fig. 9 single-GPU measurement is effectively serial (1).
+    pipeline_workers_system: int = 8
+    pipeline_workers_single: int = 1
+    #: Residual visible fraction of a fully-overlapped pipeline (queue
+    #: jitter / stragglers).
+    io_straggler_fraction: float = 0.1
+    #: Per-sentence payload for the Transformer's text pipeline (token
+    #: ids; trivially small next to images).
+    text_sample_bytes: int = 2048
+
+    # -- DAWNBench -----------------------------------------------------------------
+    #: Per-epoch evaluation + checkpoint overhead in the record run
+    #: (fills the gap between pure-throughput time and the 151 s record).
+    dawnbench_epoch_overhead: float = 0.45
+    #: ImageNet train-split size.
+    imagenet_train_samples: int = 1_281_167
+
+    # -- accuracy models --------------------------------------------------------------
+    #: Fitted top-5 accuracy curve for the 28-epoch DAWNBench recipe:
+    #: acc(e) = a - b * exp(-e / tau), crossing 93% between epochs 27
+    #: and 28 (the paper reaches 93% at epoch 28).
+    dawnbench_acc_a: float = 0.93235
+    dawnbench_acc_b: float = 0.61
+    dawnbench_acc_tau: float = 5.0
+    #: Accuracy penalty per epoch of sparse training beyond the 13-epoch
+    #: budget ("We cannot fully use MSTopK-SGD in the whole of 28 epochs
+    #: because it would cause accuracy loss", §5.6) — used by the
+    #: schedule ablation.
+    sparse_epoch_accuracy_penalty: float = 0.0012
+
+
+#: The default calibration used by all harnesses.
+CALIBRATION = Calibration()
+
+
+__all__ = ["Calibration", "CALIBRATION"]

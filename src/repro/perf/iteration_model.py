@@ -1,0 +1,220 @@
+"""Iteration-time model with overlap (the Fig. 1 decomposition).
+
+One training iteration decomposes into I/O, FF&BP, compression,
+communication, and LARS (paper §2.2); the bars of Fig. 1 are the
+*visible* — non-overlapped — parts.  This module composes those parts
+for any (model profile, resolution, batch, scheme, options) tuple on a
+virtual cluster, yielding the throughput and scaling-efficiency numbers
+of Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.gpu import V100, exact_topk_gpu_time, mstopk_gpu_time
+from repro.cluster.network import NetworkModel
+from repro.comm.breakdown import TimeBreakdown
+from repro.comm.dense import Torus2DAllReduce, TreeAllReduce
+from repro.comm.hitopkcomm import STEP_MSTOPK, HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.models.profiles import ModelProfile
+from repro.perf.calibration import CALIBRATION, Calibration
+from repro.pto.operator import PTOCostModel
+
+
+class SchemeKind(enum.Enum):
+    """The aggregation schemes of Table 3 / Fig. 1."""
+
+    DENSE_TREE = "dense-tree"  # "Dense-SGD" (Horovod TreeAR baseline)
+    DENSE_2DTAR = "2dtar"  # "2DTAR-SGD"
+    TOPK_NAIVE = "topk"  # "TopK-SGD" (exact top-k + flat All-Gather)
+    MSTOPK_HIER = "mstopk"  # "MSTopK-SGD" (the paper's system)
+
+
+def io_visible_time(
+    resolution: int,
+    local_batch: int,
+    t_compute: float,
+    *,
+    cached: bool,
+    workers: int,
+    cal: Calibration = CALIBRATION,
+    text: bool = False,
+) -> float:
+    """Visible input-pipeline time per iteration.
+
+    The naive path (no DataCache) decodes from NFS every epoch; its
+    pipeline runs slower than the GPU and is fully visible (the starved
+    pipeline of Figs. 1 and 9).  The DataCache path reads pre-processed
+    pixels from memory and re-augments; it overlaps with GPU compute up
+    to a straggler residue.
+    """
+    if text:
+        payload = local_batch * cal.text_sample_bytes
+        if cached:
+            pipeline = payload / cal.memory_read_bandwidth
+            return pipeline + cal.io_straggler_fraction * pipeline
+        return payload / cal.nfs_bandwidth + payload / cal.decode_bytes_per_sec
+
+    pixel_bytes = resolution * resolution * 3 * local_batch
+    encoded_bytes = pixel_bytes * cal.encoded_bytes_per_pixel
+    if cached:
+        read = pixel_bytes / cal.memory_read_bandwidth
+        augment = (pixel_bytes * 4) / cal.augment_bytes_per_sec / workers
+        pipeline = read + augment
+        hidden = min(pipeline, t_compute)
+        return (pipeline - hidden) + cal.io_straggler_fraction * hidden
+    read = encoded_bytes / cal.nfs_bandwidth
+    decode = pixel_bytes / cal.decode_bytes_per_sec / workers
+    return read + decode
+
+
+@dataclass
+class IterationModel:
+    """Composable per-iteration time model.
+
+    Parameters
+    ----------
+    network:
+        The virtual cluster.
+    profile:
+        Workload inventory + throughput calibration.
+    scheme:
+        One of :class:`SchemeKind`.
+    resolution:
+        Input resolution (images) or ``0`` (Transformer).
+    local_batch:
+        Per-GPU batch ``b``.
+    single_gpu_throughput:
+        Samples/s of one GPU at this resolution; defaults to the
+        profile's Table 4 calibration, override with
+        ``profile.table3_single_gpu`` for Table 3 reproductions.
+    density:
+        Sparsity ρ for the top-k schemes.
+    use_datacache / use_pto:
+        The §4 optimisations; the Dense-SGD baseline disables both.
+    """
+
+    network: NetworkModel
+    profile: ModelProfile
+    scheme: SchemeKind
+    resolution: int
+    local_batch: int
+    single_gpu_throughput: float | None = None
+    density: float = CALIBRATION.training_density
+    use_datacache: bool = True
+    use_pto: bool = True
+    pipeline_workers: int = CALIBRATION.pipeline_workers_system
+    cal: Calibration = CALIBRATION
+
+    def __post_init__(self) -> None:
+        if self.local_batch < 1:
+            raise ValueError(f"local_batch must be >= 1, got {self.local_batch}")
+        if isinstance(self.scheme, str):
+            self.scheme = SchemeKind(self.scheme)
+
+    # -- components -------------------------------------------------------
+    @property
+    def gpu_rate(self) -> float:
+        if self.single_gpu_throughput is not None:
+            return self.single_gpu_throughput
+        return self.profile.single_gpu_throughput(self.resolution or None)
+
+    def t_ffbp(self) -> float:
+        """Feed-forward + backprop time for one local batch."""
+        return self.local_batch / self.gpu_rate
+
+    def _comm_scheme(self):
+        cal = self.cal
+        d = self.profile.num_params
+        if self.scheme is SchemeKind.DENSE_TREE:
+            return TreeAllReduce(self.network, wire_bytes=cal.dense_baseline_wire_bytes)
+        if self.scheme is SchemeKind.DENSE_2DTAR:
+            return Torus2DAllReduce(self.network, wire_bytes=cal.commlib_wire_bytes)
+        if self.scheme is SchemeKind.TOPK_NAIVE:
+            return NaiveAllGather(
+                self.network,
+                density=self.density,
+                value_bytes=cal.sparse_value_bytes,
+                index_bytes=cal.sparse_index_bytes,
+                error_feedback=False,
+            )
+        return HiTopKComm(
+            self.network,
+            density=self.density,
+            value_bytes=cal.sparse_value_bytes,
+            index_bytes=cal.sparse_index_bytes,
+            dense_wire_bytes=cal.commlib_wire_bytes,
+            error_feedback=False,
+        )
+
+    def t_compression(self) -> tuple[float, float]:
+        """(compression, communication) times for the configured scheme."""
+        d = self.profile.num_params
+        scheme = self._comm_scheme()
+        breakdown = scheme.time_model(d)
+        if self.scheme is SchemeKind.TOPK_NAIVE:
+            # Exact top-k selection on the full gradient — the Fig. 1
+            # "Compression" bar that exceeds FF&BP.
+            return exact_topk_gpu_time(d), breakdown.total
+        if self.scheme is SchemeKind.MSTOPK_HIER:
+            compression = breakdown.get(STEP_MSTOPK)
+            return compression, breakdown.total - compression
+        return 0.0, breakdown.total
+
+    def t_communication_visible(self, t_comm_raw: float) -> float:
+        cal = self.cal
+        if self.scheme in (SchemeKind.DENSE_TREE, SchemeKind.DENSE_2DTAR):
+            return max(0.0, t_comm_raw - cal.dense_overlap_fraction * self.t_ffbp())
+        # Sparse paths: no overlap, plus pack/unpack overhead.
+        return t_comm_raw + cal.sparse_pipeline_overhead
+
+    def t_lars(self) -> float:
+        pto = PTOCostModel(kernels_per_layer=self.profile.lars_kernels_per_layer)
+        sizes = self.profile.layer_sizes
+        if self.use_pto:
+            return pto.pto_time(sizes, self.network)
+        return pto.serial_time(sizes)
+
+    def t_io(self) -> float:
+        return io_visible_time(
+            self.resolution,
+            self.local_batch,
+            self.t_ffbp(),
+            cached=self.use_datacache,
+            workers=self.pipeline_workers,
+            cal=self.cal,
+            text=self.resolution == 0,
+        )
+
+    # -- composition ---------------------------------------------------------
+    def breakdown(self) -> TimeBreakdown:
+        """The Fig. 1 bars: visible time per component."""
+        compression, comm_raw = self.t_compression()
+        return TimeBreakdown(
+            {
+                "io": self.t_io(),
+                "ff_bp": self.t_ffbp(),
+                "compression": compression,
+                "communication": self.t_communication_visible(comm_raw),
+                "lars": self.t_lars(),
+                "sync": self.cal.sync_overhead,
+            }
+        )
+
+    def iteration_time(self) -> float:
+        return self.breakdown().total
+
+    def throughput(self) -> float:
+        """Global samples/s: ``b * P / t_iter``."""
+        return self.local_batch * self.network.world_size / self.iteration_time()
+
+    def scaling_efficiency(self, baseline_single_gpu: float | None = None) -> float:
+        """Throughput / (P × single-GPU throughput), as in Table 3."""
+        base = baseline_single_gpu if baseline_single_gpu is not None else self.gpu_rate
+        return self.throughput() / (self.network.world_size * base)
+
+
+__all__ = ["IterationModel", "SchemeKind", "io_visible_time"]

@@ -1,0 +1,75 @@
+"""Training-algorithm factory: the three SGD variants the paper compares.
+
+* **Dense-SGD** — exact dense aggregation (TreeAR in Fig. 1 / Table 3;
+  2DTAR-SGD is the stronger dense variant);
+* **TopK-SGD** — flat exact top-k + All-Gather with error feedback
+  (Lin et al. 2018 / Renggli et al. 2019);
+* **MSTopK-SGD** — the paper's system: hierarchical MSTopK (Algorithm 2)
+  with shard-level error feedback.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.network import NetworkModel
+from repro.comm.base import CommScheme
+from repro.comm.dense import RingAllReduce, Torus2DAllReduce, TreeAllReduce
+from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.naive_allgather import NaiveAllGather
+from repro.compression.exact_topk import ExactTopK
+from repro.compression.mstopk import MSTopK
+
+#: Canonical algorithm names used by the convergence harness (Fig. 10).
+TRAINING_ALGORITHMS = ("dense", "topk", "mstopk")
+
+
+def make_scheme(
+    name: str,
+    network: NetworkModel,
+    *,
+    density: float = 0.001,
+    wire_bytes: int = 4,
+    n_samplings: int = 30,
+) -> CommScheme:
+    """Build a :class:`CommScheme` by algorithm name.
+
+    Accepted names: ``dense`` / ``dense-tree`` (TreeAR), ``dense-ring``,
+    ``2dtar``, ``topk`` (NaiveAG + exact top-k + EF), ``mstopk``
+    (HiTopKComm + MSTopK + EF), ``naiveag-mstopk`` (flat All-Gather with
+    the MSTopK operator — an ablation separating the operator from the
+    hierarchy).
+    """
+    key = name.lower()
+    if key in ("dense", "dense-tree", "tree", "trear"):
+        return TreeAllReduce(network, wire_bytes=wire_bytes)
+    if key in ("dense-ring", "ring"):
+        return RingAllReduce(network, wire_bytes=wire_bytes)
+    if key in ("2dtar", "torus", "dense-2dtar"):
+        return Torus2DAllReduce(network, wire_bytes=wire_bytes)
+    if key in ("topk", "topk-sgd", "naiveag"):
+        return NaiveAllGather(
+            network,
+            density=density,
+            compressor=ExactTopK(),
+            error_feedback=True,
+        )
+    if key in ("mstopk", "mstopk-sgd", "hitopk", "hitopkcomm"):
+        return HiTopKComm(
+            network,
+            density=density,
+            compressor=MSTopK(n_samplings=n_samplings),
+            error_feedback=True,
+        )
+    if key in ("naiveag-mstopk",):
+        return NaiveAllGather(
+            network,
+            density=density,
+            compressor=MSTopK(n_samplings=n_samplings),
+            error_feedback=True,
+        )
+    raise KeyError(
+        f"unknown training algorithm {name!r}; try one of "
+        "dense/dense-ring/2dtar/topk/mstopk/naiveag-mstopk"
+    )
+
+
+__all__ = ["make_scheme", "TRAINING_ALGORITHMS"]

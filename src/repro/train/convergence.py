@@ -1,0 +1,200 @@
+"""The convergence experiment (paper Fig. 10 and Table 2).
+
+Trains the *same* model from the *same* initialisation under the three
+algorithms — Dense-SGD, TopK-SGD (exact top-k, flat All-Gather, error
+feedback) and MSTopK-SGD (Algorithm 2 with shard-level error feedback) —
+and records per-epoch validation metrics.  The paper's finding to
+reproduce: both sparsified variants track the dense run with a small
+final-accuracy gap, and MSTopK-SGD is not worse than TopK-SGD on CNNs
+(its intra-node aggregation is dense, §5.5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.models.nn.convnet import SmallConvNet
+from repro.models.nn.mlp import MLPClassifier
+from repro.models.nn.transformer import TinyTransformer, make_copy_task
+from repro.optim.sgd import SGD
+from repro.train.algorithms import TRAINING_ALGORITHMS, make_scheme
+from repro.train.synthetic import (
+    make_spiral_classification,
+    make_synthetic_images,
+    train_val_split,
+)
+from repro.train.trainer import DistributedTrainer, TrainingReport
+from repro.utils.seeding import new_rng
+
+
+@dataclass
+class EpochRecord:
+    """One (epoch, metric) point on a convergence curve."""
+
+    epoch: int
+    metric: float
+
+
+@dataclass
+class ConvergenceResult:
+    """All algorithms' curves for one workload."""
+
+    workload: str
+    metric_name: str
+    reports: dict[str, TrainingReport] = field(default_factory=dict)
+
+    def curve(self, algorithm: str) -> list[EpochRecord]:
+        report = self.reports[algorithm]
+        return [EpochRecord(i, m) for i, m in enumerate(report.val_metrics)]
+
+    def final(self, algorithm: str) -> float:
+        return self.reports[algorithm].final_val_metric
+
+    def summary_rows(self) -> list[tuple[str, float]]:
+        return [(alg, self.final(alg)) for alg in self.reports]
+
+
+#: Workload registry: name -> (builder, metric label).  "resnet" is an
+#: extension workload (residual CNN) not part of the paper analogues.
+_WORKLOADS = ("mlp", "cnn", "transformer")
+_EXTRA_WORKLOADS = ("resnet",)
+
+#: Per-workload hyperparameter overrides.  The attention model needs a
+#: hotter rate to move in 15 epochs and a higher density for the
+#: sparsified runs (its ~7k parameters make ρ·d/n per shard tiny
+#: otherwise); the paper's Transformer likewise shows the largest
+#: sparse-vs-dense metric gap of the three workloads (Table 2).
+_WORKLOAD_HP: dict[str, dict[str, float]] = {
+    "transformer": {"lr": 0.15, "density": 0.10},
+}
+
+
+class ConvergenceRunner:
+    """Runs the Fig. 10 / Table 2 experiment at laptop scale.
+
+    Parameters
+    ----------
+    num_nodes / gpus_per_node:
+        Virtual cluster shape (default 4×2 = 8 workers; enough to make
+        the hierarchy non-trivial while keeping runs fast).
+    density:
+        Sparsity for the top-k algorithms (paper trains at ρ = 0.001 on
+        25M parameters; at our ~1e4-parameter scale the equivalent
+        aggressive-compression setting is a few percent).
+    epochs / num_samples / local_batch / lr / seed:
+        Training-run shape.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 4,
+        gpus_per_node: int = 2,
+        density: float = 0.05,
+        epochs: int = 20,
+        num_samples: int = 2048,
+        local_batch: int = 16,
+        lr: float = 0.05,
+        seed: int = 7,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node
+        self.density = density
+        self.epochs = epochs
+        self.num_samples = num_samples
+        self.local_batch = local_batch
+        self.lr = lr
+        self.seed = seed
+
+    def _network(self):
+        return make_cluster(self.num_nodes, "tencent", gpus_per_node=self.gpus_per_node)
+
+    def _build(self, workload: str):
+        rng = new_rng(self.seed)
+        if workload == "mlp":
+            x, y = make_spiral_classification(self.num_samples, num_classes=4, rng=rng)
+            model = MLPClassifier(input_dim=2, hidden=(48, 48), num_classes=4)
+            metric = "top-1 accuracy"
+            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
+        elif workload == "cnn":
+            x, y = make_synthetic_images(
+                self.num_samples, num_classes=4, image_size=12, rng=rng
+            )
+            model = SmallConvNet(
+                in_channels=3, channels=(6, 12), num_classes=4, image_size=12
+            )
+            metric = "top-1 accuracy"
+            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
+        elif workload == "resnet":
+            # Extension workload: residual blocks change the gradient
+            # distribution the selectors see (flatter tails).
+            from repro.models.nn.resnet_tiny import TinyResNet
+
+            x, y = make_synthetic_images(
+                self.num_samples, num_classes=4, image_size=8, rng=rng
+            )
+            model = TinyResNet(width=6, num_classes=4, image_size=8)
+            metric = "top-1 accuracy"
+            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
+        elif workload == "transformer":
+            x, y = make_copy_task(
+                rng, num_samples=self.num_samples, vocab_size=32, seq_len=10
+            )
+            model = TinyTransformer(vocab_size=32, d_model=24, d_ff=48, max_len=10)
+            metric = "token accuracy (BLEU proxy)"
+            evaluate = model.evaluate
+        else:
+            raise KeyError(
+                f"unknown workload {workload!r}; try one of "
+                f"{_WORKLOADS + _EXTRA_WORKLOADS}"
+            )
+        return model, x, y, metric, evaluate
+
+    def run(
+        self,
+        workload: str,
+        algorithms: tuple[str, ...] = TRAINING_ALGORITHMS,
+        *,
+        epochs: int | None = None,
+    ) -> ConvergenceResult:
+        """Train one workload under each algorithm from a shared init."""
+        model, x, y, metric, evaluate = self._build(workload)
+        train_x, train_y, val_x, val_y = train_val_split(np.asarray(x), np.asarray(y))
+        result = ConvergenceResult(workload=workload, metric_name=metric)
+        epochs = epochs if epochs is not None else self.epochs
+        overrides = _WORKLOAD_HP.get(workload, {})
+        lr = overrides.get("lr", self.lr)
+        density = overrides.get("density", self.density)
+
+        for algorithm in algorithms:
+            network = self._network()
+            scheme = make_scheme(algorithm, network, density=density)
+            trainer = DistributedTrainer(
+                model,
+                scheme,
+                optimizer=SGD(lr=lr, momentum=0.9),
+                seed=self.seed,  # same seed → same init for every algorithm
+            )
+            report = trainer.train(
+                train_x,
+                train_y,
+                epochs=epochs,
+                local_batch=self.local_batch,
+                val_x=val_x,
+                val_y=val_y,
+                evaluate=evaluate,
+                algorithm_name=algorithm,
+            )
+            result.reports[algorithm] = report
+        return result
+
+    def run_all(
+        self, workloads: tuple[str, ...] = _WORKLOADS
+    ) -> dict[str, ConvergenceResult]:
+        return {w: self.run(w) for w in workloads}
+
+
+__all__ = ["ConvergenceRunner", "ConvergenceResult", "EpochRecord"]

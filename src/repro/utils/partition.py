@@ -1,0 +1,141 @@
+"""Tensor and layer partitioning helpers.
+
+The hierarchical communication algorithm (Algorithm 2 in the paper)
+shards a length-``d`` gradient across the ``n`` GPUs of a node, and the
+parallel tensor operator (PTO, §4.2) shards a list of layers across all
+``P`` GPUs.  Both need the same "split as evenly as possible" arithmetic,
+centralised here so that every subsystem agrees on shard boundaries.
+
+The convention matches NCCL's reduce-scatter: the first ``d % parts``
+shards get one extra element.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def chunk_sizes(total: int, parts: int) -> list[int]:
+    """Sizes of ``parts`` near-equal chunks covering ``total`` elements.
+
+    >>> chunk_sizes(10, 3)
+    [4, 3, 3]
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, parts)
+    return [base + 1 if i < extra else base for i in range(parts)]
+
+
+def chunk_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """``(start, end)`` half-open bounds for each of ``parts`` chunks.
+
+    >>> chunk_bounds(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    sizes = chunk_sizes(total, parts)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for size in sizes:
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def shard_slice(total: int, parts: int, index: int) -> slice:
+    """Slice selecting chunk ``index`` out of ``parts`` chunks of ``total``."""
+    if not 0 <= index < parts:
+        raise IndexError(f"chunk index {index} out of range for {parts} parts")
+    start, end = chunk_bounds(total, parts)[index]
+    return slice(start, end)
+
+
+def partition_indices(total: int, parts: int) -> list[np.ndarray]:
+    """Index arrays (``np.arange`` views) for each chunk."""
+    return [np.arange(start, end) for start, end in chunk_bounds(total, parts)]
+
+
+def partition_layers(layer_sizes: Sequence[int], parts: int) -> list[list[int]]:
+    """Assign layer indices to ``parts`` workers, contiguously and evenly.
+
+    This mirrors the paper's PTO-for-LARS example: "the first GPU
+    calculates 1 to 2 layers' learning rates, the second one calculates
+    layer 3 to 4, and so on" — i.e. a contiguous split of the layer list,
+    *not* a balanced-by-size split.  (A size-balanced variant lives in
+    :func:`partition_layers_balanced`.)
+    """
+    n_layers = len(layer_sizes)
+    return [list(range(start, end)) for start, end in chunk_bounds(n_layers, parts)]
+
+
+def partition_layers_balanced(layer_sizes: Sequence[int], parts: int) -> list[list[int]]:
+    """Greedy size-balanced layer assignment (largest layer first).
+
+    Provided as the "obvious improvement" over the paper's contiguous
+    split; used by the PTO ablation benchmark.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    loads = np.zeros(parts, dtype=np.float64)
+    assignment: list[list[int]] = [[] for _ in range(parts)]
+    order = np.argsort(np.asarray(layer_sizes, dtype=np.float64))[::-1]
+    for layer in order:
+        target = int(np.argmin(loads))
+        assignment[target].append(int(layer))
+        loads[target] += layer_sizes[layer]
+    for worker in assignment:
+        worker.sort()
+    return assignment
+
+
+def reassemble(chunks: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate chunks back into a flat vector (inverse of sharding)."""
+    if not chunks:
+        return np.empty(0)
+    return np.concatenate([np.asarray(c).ravel() for c in chunks])
+
+
+def flatten_tensors(tensors: Sequence[np.ndarray]) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Flatten a list of tensors into one vector plus their shapes.
+
+    This is the "tensor fusion" primitive (Shi et al. 2019b; Horovod's
+    fusion buffer): gradients of many layers are fused into one flat
+    buffer before communication so the collective pays latency once.
+    """
+    shapes = [tuple(np.asarray(t).shape) for t in tensors]
+    if not tensors:
+        return np.empty(0), shapes
+    flat = np.concatenate([np.asarray(t).ravel() for t in tensors])
+    return flat, shapes
+
+
+def unflatten_tensors(flat: np.ndarray, shapes: Sequence[tuple[int, ...]]) -> list[np.ndarray]:
+    """Inverse of :func:`flatten_tensors`."""
+    tensors: list[np.ndarray] = []
+    offset = 0
+    for shape in shapes:
+        size = int(np.prod(shape)) if shape else 1
+        tensors.append(flat[offset : offset + size].reshape(shape))
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size} elements but shapes account for {offset}"
+        )
+    return tensors
+
+
+__all__ = [
+    "chunk_sizes",
+    "chunk_bounds",
+    "shard_slice",
+    "partition_indices",
+    "partition_layers",
+    "partition_layers_balanced",
+    "reassemble",
+    "flatten_tensors",
+    "unflatten_tensors",
+]

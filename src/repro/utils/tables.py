@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+Every harness in :mod:`repro.experiments` prints the same rows/series as
+the corresponding paper table or figure; this module renders them with
+aligned columns so the benchmark logs are directly comparable with the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_row(cells: Sequence[Any], widths: Sequence[int]) -> str:
+    """Render one row with right-padded first column and right-aligned rest."""
+    parts = []
+    for i, (cell, width) in enumerate(zip(cells, widths)):
+        text = _cell(cell)
+        parts.append(text.ljust(width) if i == 0 else text.rjust(width))
+    return "  ".join(parts)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a full table as a string (headers, rule, rows)."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    """Print a table (convenience wrapper around :func:`format_table`)."""
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+__all__ = ["format_table", "format_row", "print_table"]

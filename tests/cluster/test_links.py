@@ -1,0 +1,60 @@
+"""LinkSpec alpha-beta semantics."""
+
+import pytest
+
+from repro.cluster.links import (
+    ETHERNET_25G,
+    LinkSpec,
+    NVLINK_V100,
+    get_link,
+)
+
+
+class TestLinkSpec:
+    def test_beta_is_inverse_effective_bandwidth(self):
+        link = LinkSpec("t", alpha=1e-5, bandwidth=1e9, efficiency=0.5)
+        assert link.beta == pytest.approx(2e-9)
+
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec("t", alpha=1e-5, bandwidth=1e9)
+        assert link.transfer_time(1e6) == pytest.approx(1e-5 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert ETHERNET_25G.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ETHERNET_25G.transfer_time(-1)
+
+    def test_scaled_shares_bandwidth(self):
+        shared = ETHERNET_25G.scaled(0.25)
+        assert shared.beta == pytest.approx(4 * ETHERNET_25G.beta)
+        assert shared.alpha == ETHERNET_25G.alpha
+
+    def test_scaled_invalid_share(self):
+        with pytest.raises(ValueError):
+            ETHERNET_25G.scaled(0.0)
+        with pytest.raises(ValueError):
+            ETHERNET_25G.scaled(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec("t", alpha=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            LinkSpec("t", alpha=0, bandwidth=0)
+        with pytest.raises(ValueError):
+            LinkSpec("t", alpha=0, bandwidth=1, efficiency=0)
+
+
+class TestPresets:
+    def test_hierarchy_gap(self):
+        # NVLink must be much faster than 25GbE — the asymmetry the whole
+        # paper is about.
+        assert NVLINK_V100.beta * 4 < ETHERNET_25G.beta
+
+    def test_get_link(self):
+        assert get_link("25GbE").bandwidth == pytest.approx(25e9 / 8)
+
+    def test_get_link_unknown(self):
+        with pytest.raises(KeyError):
+            get_link("teleport")

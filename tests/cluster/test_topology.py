@@ -1,0 +1,66 @@
+"""Rank arithmetic of the m x n topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+
+
+class TestTopology:
+    def test_world_size(self):
+        assert ClusterTopology(16, 8).world_size == 128
+
+    def test_rank_node_major(self):
+        topo = ClusterTopology(3, 4)
+        assert topo.rank(0, 0) == 0
+        assert topo.rank(1, 0) == 4
+        assert topo.rank(2, 3) == 11
+
+    @given(m=st.integers(1, 20), n=st.integers(1, 16))
+    def test_rank_roundtrip(self, m, n):
+        topo = ClusterTopology(m, n)
+        for rank in range(topo.world_size):
+            node = topo.node_of(rank)
+            local = topo.local_rank_of(rank)
+            assert topo.rank(node, local) == rank
+
+    def test_node_ranks(self):
+        topo = ClusterTopology(2, 4)
+        assert topo.node_ranks(1) == [4, 5, 6, 7]
+
+    def test_stream_ranks(self):
+        topo = ClusterTopology(3, 4)
+        assert topo.stream_ranks(2) == [2, 6, 10]
+
+    @given(m=st.integers(1, 8), n=st.integers(1, 8))
+    def test_node_and_stream_groups_partition_world(self, m, n):
+        topo = ClusterTopology(m, n)
+        from_nodes = sorted(r for group in topo.iter_node_groups() for r in group)
+        from_streams = sorted(r for group in topo.iter_stream_groups() for r in group)
+        assert from_nodes == list(range(topo.world_size))
+        assert from_streams == list(range(topo.world_size))
+
+    def test_same_node(self):
+        topo = ClusterTopology(2, 4)
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+
+    def test_devices(self):
+        topo = ClusterTopology(2, 2)
+        devices = topo.devices()
+        assert len(devices) == 4
+        assert devices[3].name == "node1/gpu1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0, 8)
+        with pytest.raises(ValueError):
+            ClusterTopology(2, 0)
+        topo = ClusterTopology(2, 2)
+        with pytest.raises(IndexError):
+            topo.node_of(4)
+        with pytest.raises(IndexError):
+            topo.rank(2, 0)
+        with pytest.raises(IndexError):
+            topo.stream_ranks(2)

@@ -1,0 +1,64 @@
+"""All-Gather collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.all_gather import (
+    all_gather,
+    all_gather_concat,
+    ring_all_gather,
+)
+
+
+class TestAllGather:
+    def test_every_worker_sees_all(self, rng):
+        xs = [rng.normal(size=3) for _ in range(4)]
+        out = all_gather(xs)
+        assert len(out) == 4
+        for worker_view in out:
+            for r, x in enumerate(xs):
+                np.testing.assert_array_equal(worker_view[r], x)
+
+    def test_views_are_independent_copies(self, rng):
+        xs = [rng.normal(size=3) for _ in range(2)]
+        out = all_gather(xs)
+        out[0][1][0] = 123.0
+        assert out[1][1][0] != 123.0
+
+    def test_unequal_lengths_allowed(self):
+        out = all_gather([np.zeros(2), np.zeros(5)])
+        assert out[0][1].size == 5
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            all_gather([])
+
+
+class TestRingAllGather:
+    @given(p=st.integers(1, 8), chunk=st.integers(1, 16), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_concat(self, p, chunk, seed):
+        rng = np.random.default_rng(seed)
+        xs = [rng.normal(size=chunk) for _ in range(p)]
+        ring = ring_all_gather(xs)
+        concat = all_gather_concat(xs)
+        for r, c in zip(ring, concat):
+            np.testing.assert_array_equal(r, c)
+
+    def test_rank_order_preserved(self):
+        xs = [np.full(2, float(r)) for r in range(4)]
+        out = ring_all_gather(xs)
+        np.testing.assert_array_equal(
+            out[2], [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+        )
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ring_all_gather([np.zeros(2), np.zeros(3)])
+
+    def test_single_worker(self, rng):
+        x = rng.normal(size=5)
+        [out] = ring_all_gather([x])
+        np.testing.assert_array_equal(out, x)

@@ -1,0 +1,121 @@
+"""Error feedback — the residual algebra sparsified SGD depends on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.exact_topk import topk_argpartition
+from repro.compression.mstopk import mstopk_select
+from repro.utils.seeding import new_rng
+
+
+class TestResidualAlgebra:
+    def test_first_apply_is_identity(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=10)
+        np.testing.assert_array_equal(ef.apply("w", g), g)
+
+    def test_corrected_equals_sent_plus_residual(self, rng):
+        # The EF invariant: corrected = densify(sent) + residual.
+        ef = ErrorFeedback()
+        g = rng.normal(size=100)
+        corrected = ef.apply(0, g)
+        sent = topk_argpartition(corrected, 10)
+        ef.update(0, corrected, sent)
+        np.testing.assert_allclose(
+            sent.to_dense() + ef.residual(0), corrected, atol=1e-12
+        )
+
+    @given(d=st.integers(4, 200), seed=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation_over_iterations(self, d, seed):
+        # Over T iterations: sum(gradients) = sum(sent) + final residual.
+        rng = np.random.default_rng(seed)
+        ef = ErrorFeedback()
+        k = max(1, d // 10)
+        total_grad = np.zeros(d)
+        total_sent = np.zeros(d)
+        for _ in range(8):
+            g = rng.normal(size=d)
+            total_grad += g
+            corrected = ef.apply("w", g)
+            sent = topk_argpartition(corrected, k)
+            ef.update("w", corrected, sent)
+            total_sent += sent.to_dense()
+        np.testing.assert_allclose(
+            total_sent + ef.residual("w"), total_grad, atol=1e-9
+        )
+
+    def test_residual_bounded_for_topk(self):
+        # With top-k + EF the residual norm stays bounded (contraction
+        # property of top-k, Stich et al. 2018).
+        rng = new_rng(0)
+        ef = ErrorFeedback()
+        d, k = 256, 64  # keep 25% -> strong contraction
+        norms = []
+        for _ in range(200):
+            g = rng.normal(size=d)
+            corrected = ef.apply("w", g)
+            sent = topk_argpartition(corrected, k)
+            ef.update("w", corrected, sent)
+            norms.append(float(np.linalg.norm(ef.residual("w"))))
+        # Bounded: the last 100 norms don't trend upward vs the middle.
+        assert np.mean(norms[-50:]) < 3.0 * np.mean(norms[50:100]) + 1.0
+
+    def test_works_with_mstopk(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=500)
+        corrected = ef.apply("w", g)
+        sent = mstopk_select(corrected, 25, rng=rng)
+        ef.update("w", corrected, sent)
+        np.testing.assert_allclose(
+            sent.to_dense() + ef.residual("w"), corrected, atol=1e-12
+        )
+
+
+class TestBookkeeping:
+    def test_independent_keys(self, rng):
+        ef = ErrorFeedback()
+        for key in ("a", "b"):
+            g = rng.normal(size=10)
+            corrected = ef.apply(key, g)
+            ef.update(key, corrected, topk_argpartition(corrected, 2))
+        assert len(ef) == 2
+        assert set(ef.keys()) == {"a", "b"}
+
+    def test_reset_single_key(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=10)
+        ef.update("a", g, topk_argpartition(g, 2))
+        ef.reset("a")
+        assert ef.residual("a") is None
+
+    def test_reset_all(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=10)
+        ef.update("a", g, topk_argpartition(g, 2))
+        ef.update("b", g, topk_argpartition(g, 2))
+        ef.reset()
+        assert len(ef) == 0
+
+    def test_shape_mismatch_rejected(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=10)
+        ef.update("w", g, topk_argpartition(g, 2))
+        with pytest.raises(ValueError):
+            ef.apply("w", rng.normal(size=11))
+
+    def test_sent_length_mismatch_rejected(self, rng):
+        ef = ErrorFeedback()
+        g = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            ef.update("w", g, topk_argpartition(rng.normal(size=12), 2))
+
+    def test_total_norm(self, rng):
+        ef = ErrorFeedback()
+        assert ef.total_norm() == 0.0
+        g = rng.normal(size=10)
+        ef.update("w", g, topk_argpartition(g, 10))  # all sent -> residual 0
+        assert ef.total_norm() == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,62 @@
+"""FP16 / QSGD quantisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantize import FP16Quantizer, QSGDQuantizer
+from repro.utils.seeding import new_rng
+
+
+class TestFP16:
+    def test_roundtrip_close(self, rng):
+        x = rng.normal(size=1000)
+        back = FP16Quantizer().roundtrip(x)
+        np.testing.assert_allclose(back, x, rtol=1e-3, atol=1e-4)
+
+    def test_wire_bytes_are_two_per_element(self, rng):
+        x = rng.normal(size=1000)
+        q = FP16Quantizer().encode(x)
+        assert q.nbytes == 2 * x.size
+
+    def test_dtype_restored(self, rng):
+        x = rng.normal(size=10).astype(np.float64)
+        assert FP16Quantizer().roundtrip(x).dtype == np.float64
+
+
+class TestQSGD:
+    def test_roundtrip_bounded_error(self, rng):
+        x = rng.normal(size=500)
+        back = QSGDQuantizer(levels=255).roundtrip(x, rng=rng)
+        # Per-coordinate error bounded by norm / levels.
+        bound = np.linalg.norm(x) / 255 + 1e-12
+        assert np.max(np.abs(back - x)) <= bound * 1.0 + 1e-9
+
+    def test_unbiased(self):
+        rng = new_rng(0)
+        x = rng.normal(size=32)
+        quant = QSGDQuantizer(levels=8)
+        acc = np.zeros_like(x)
+        trials = 4000
+        for _ in range(trials):
+            acc += quant.roundtrip(x, rng=rng)
+        np.testing.assert_allclose(acc / trials, x, atol=0.05)
+
+    def test_zero_vector(self, rng):
+        x = np.zeros(16)
+        back = QSGDQuantizer().roundtrip(x, rng=rng)
+        np.testing.assert_array_equal(back, x)
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError):
+            QSGDQuantizer(levels=0)
+
+    @given(seed=st.integers(0, 50), levels=st.sampled_from([1, 4, 16, 255]))
+    @settings(max_examples=30, deadline=None)
+    def test_signs_preserved(self, seed, levels):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=64)
+        back = QSGDQuantizer(levels=levels).roundtrip(x, rng=rng)
+        nonzero = back != 0
+        assert np.all(np.sign(back[nonzero]) == np.sign(x[nonzero]))

@@ -1,0 +1,45 @@
+"""Random-k sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.compression.randomk import RandomK
+from repro.utils.seeding import new_rng
+
+
+class TestRandomK:
+    def test_exactly_k_unique(self, rng):
+        sv = RandomK().select(rng.normal(size=200), 20, rng=rng)
+        assert sv.nnz == 20
+        assert len(np.unique(sv.indices)) == 20
+
+    def test_unscaled_values_match_source(self, rng):
+        x = rng.normal(size=100)
+        sv = RandomK(scale=False).select(x, 10, rng=rng)
+        np.testing.assert_array_equal(sv.values, x[sv.indices])
+
+    def test_scaled_is_unbiased(self):
+        # E[densify(randomk_scaled(x))] == x: average many draws.
+        rng = new_rng(0)
+        x = rng.normal(size=64)
+        comp = RandomK(scale=True)
+        acc = np.zeros_like(x)
+        trials = 3000
+        for _ in range(trials):
+            acc += comp.select(x, 8, rng=rng).to_dense()
+        np.testing.assert_allclose(acc / trials, x, atol=0.15)
+
+    def test_k_zero(self, rng):
+        assert RandomK().select(rng.normal(size=10), 0, rng=rng).nnz == 0
+
+    def test_k_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            RandomK().select(rng.normal(size=10), 11, rng=rng)
+
+    def test_different_draws_differ(self):
+        x = new_rng(0).normal(size=1000)
+        comp = RandomK()
+        rng = new_rng(1)
+        a = comp.select(x, 50, rng=rng).indices
+        b = comp.select(x, 50, rng=rng).indices
+        assert not np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""EF-SignSGD compression (related-work baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.signsgd import (
+    SignCompressed,
+    SignSGDCompressor,
+    signsgd_allreduce,
+)
+from repro.utils.seeding import new_rng
+
+
+class TestWireFormat:
+    def test_roundtrip_magnitude(self, rng):
+        comp = SignSGDCompressor()
+        g = rng.normal(size=100)
+        msg = comp.compress("w", g)
+        dense = msg.to_dense()
+        # The reconstruction has the right signs and a single magnitude.
+        nonzero = dense != 0
+        assert np.all(np.sign(dense[nonzero]) == np.sign(g[nonzero]))
+        assert len(np.unique(np.abs(dense[nonzero]))) == 1
+
+    def test_compression_ratio(self):
+        msg = SignCompressed(np.ones(3200, dtype=np.int8), 1.0, 3200)
+        # 1 bit/coordinate + 4-byte scale vs 4 bytes/coordinate FP32.
+        assert msg.nbytes_on_wire == 3200 // 8 + 4
+        assert msg.nbytes_on_wire < 3200 * 4 / 30
+
+
+class TestErrorFeedback:
+    def test_residual_is_quantisation_error(self, rng):
+        comp = SignSGDCompressor()
+        g = rng.normal(size=64)
+        msg = comp.compress("w", g)
+        np.testing.assert_allclose(msg.to_dense() + comp.residual("w"), g, atol=1e-12)
+
+    def test_mass_conservation_over_iterations(self, rng):
+        comp = SignSGDCompressor()
+        total_grad = np.zeros(80)
+        total_sent = np.zeros(80)
+        for _ in range(10):
+            g = rng.normal(size=80)
+            total_grad += g
+            total_sent += comp.compress("w", g).to_dense()
+        np.testing.assert_allclose(
+            total_sent + comp.residual("w"), total_grad, atol=1e-9
+        )
+
+    def test_reset(self, rng):
+        comp = SignSGDCompressor()
+        comp.compress("w", rng.normal(size=8))
+        comp.reset()
+        assert comp.residual("w") is None
+
+
+class TestAggregation:
+    def test_allreduce_averages_scaled_signs(self, rng):
+        comps = [SignSGDCompressor() for _ in range(4)]
+        grads = [rng.normal(size=32) for _ in range(4)]
+        messages = [c.compress(0, g) for c, g in zip(comps, grads)]
+        total = signsgd_allreduce(messages)
+        expected = np.sum([m.to_dense() for m in messages], axis=0)
+        np.testing.assert_allclose(total, expected)
+
+    def test_length_mismatch(self, rng):
+        a = SignSGDCompressor().compress("w", rng.normal(size=8))
+        b = SignSGDCompressor().compress("w", rng.normal(size=9))
+        with pytest.raises(ValueError):
+            signsgd_allreduce([a, b])
+
+    def test_empty_group(self):
+        with pytest.raises(ValueError):
+            signsgd_allreduce([])
+
+
+class TestConvergenceSignal:
+    def test_ef_signsgd_minimises_quadratic(self):
+        # EF-SignSGD on f(w) = ||w||^2/2: must converge to ~0 (the EF
+        # theorem this scheme motivated).
+        rng = new_rng(0)
+        comp = SignSGDCompressor()
+        w = rng.normal(size=16) * 5
+        lr = 0.05
+        for _ in range(600):
+            g = w.copy()  # gradient of the quadratic
+            step = comp.compress("w", g).to_dense()
+            w -= lr * step
+        assert np.linalg.norm(w) < 1.0

@@ -1,0 +1,119 @@
+"""Contraction-property checks — do the operators satisfy EF theory?"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.dgc import DGCTopK
+from repro.compression.exact_topk import topk_argpartition
+from repro.compression.mstopk import mstopk_select
+from repro.compression.randomk import RandomK
+from repro.compression.theory import (
+    CompressionDiagnostics,
+    contraction_factor,
+    residual_norm_bound,
+    topk_contraction_bound,
+)
+from repro.utils.seeding import new_rng
+
+
+class TestContractionFactor:
+    @given(d=st.integers(10, 500), seed=st.integers(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_topk_meets_theoretical_bound(self, d, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=d)
+        k = max(1, d // 10)
+        sent = topk_argpartition(x, k)
+        assert contraction_factor(x, sent) <= topk_contraction_bound(d, k) + 1e-12
+
+    def test_mstopk_is_a_contraction(self, rng):
+        # MSTopK is approximate: it may exceed the exact top-k bound
+        # inside the threshold band, but it must stay a contraction
+        # (< 1), which is what EF convergence needs.
+        for _ in range(20):
+            x = rng.normal(size=2000)
+            sent = mstopk_select(x, 100, rng=rng)
+            assert contraction_factor(x, sent) < 1.0
+
+    def test_dgc_is_a_contraction(self, rng):
+        x = rng.normal(size=2000)
+        sent = DGCTopK(sample_fraction=0.1).select(x, 100, rng=rng)
+        assert contraction_factor(x, sent) < 1.0
+
+    def test_randomk_contraction_in_expectation(self):
+        rng = new_rng(0)
+        x = rng.normal(size=500)
+        comp = RandomK(scale=False)
+        factors = [
+            contraction_factor(x, comp.select(x, 50, rng=rng)) for _ in range(50)
+        ]
+        # E[factor] = 1 - k/d for unscaled random-k on isotropic data.
+        assert np.mean(factors) == pytest.approx(0.9, abs=0.05)
+
+    def test_full_selection_is_lossless(self, rng):
+        x = rng.normal(size=100)
+        assert contraction_factor(x, topk_argpartition(x, 100)) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        x = np.zeros(10)
+        sent = topk_argpartition(x, 2)
+        assert contraction_factor(x, sent) == 0.0
+
+    def test_length_mismatch(self, rng):
+        x = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            contraction_factor(rng.normal(size=11), topk_argpartition(x, 2))
+
+
+class TestBounds:
+    def test_bound_monotone_in_k(self):
+        assert topk_contraction_bound(100, 50) < topk_contraction_bound(100, 10)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            topk_contraction_bound(10, 11)
+        with pytest.raises(ValueError):
+            topk_contraction_bound(0, 0)
+
+    def test_residual_bound_finite_and_positive(self):
+        bound = residual_norm_bound(1.0, d=1000, k=1)
+        assert np.isfinite(bound) and bound > 0
+
+    def test_residual_bound_shrinks_with_density(self):
+        assert residual_norm_bound(1.0, 100, 50) < residual_norm_bound(1.0, 100, 5)
+
+    def test_empirical_residual_within_theory(self):
+        # Run EF top-k and check residual norms respect the bound scaled
+        # by the observed gradient norm.
+        from repro.compression.error_feedback import ErrorFeedback
+
+        rng = new_rng(1)
+        ef = ErrorFeedback()
+        d, k = 400, 100
+        grad_bound = 0.0
+        for _ in range(100):
+            g = rng.normal(size=d)
+            grad_bound = max(grad_bound, float(np.linalg.norm(g)))
+            corrected = ef.apply("w", g)
+            sent = topk_argpartition(corrected, k)
+            ef.update("w", corrected, sent)
+        bound = residual_norm_bound(grad_bound, d, k)
+        assert float(np.linalg.norm(ef.residual("w"))) <= bound
+
+
+class TestDiagnostics:
+    def test_streaming_record(self, rng):
+        diag = CompressionDiagnostics()
+        for _ in range(5):
+            x = rng.normal(size=300)
+            diag.record(x, topk_argpartition(x, 30))
+        assert diag.samples == 5
+        assert diag.satisfies_contraction()
+        assert 0 < diag.mean_energy_kept <= 1
+
+    def test_empty_diagnostics(self):
+        diag = CompressionDiagnostics()
+        assert not diag.satisfies_contraction()
+        assert diag.mean_energy_kept == 0.0

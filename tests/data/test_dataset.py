@@ -1,0 +1,77 @@
+"""Synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import SyntheticImageDataset, SyntheticTranslationDataset
+
+
+class TestImageDataset:
+    def test_labels_deterministic(self):
+        a = SyntheticImageDataset(50, seed=3)
+        b = SyntheticImageDataset(50, seed=3)
+        assert [a.label(i) for i in range(50)] == [b.label(i) for i in range(50)]
+
+    def test_labels_in_range(self):
+        ds = SyntheticImageDataset(100, num_classes=10)
+        assert all(0 <= ds.label(i) < 10 for i in range(100))
+
+    def test_keys_unique(self):
+        ds = SyntheticImageDataset(20)
+        keys = {ds.key(i) for i in range(20)}
+        assert len(keys) == 20
+
+    def test_encoded_sample_bytes_consistent(self):
+        ds = SyntheticImageDataset(5, resolution=64)
+        assert ds.encoded_sample_bytes == len(ds.encoded(3))
+
+    def test_epoch_order_is_permutation(self):
+        ds = SyntheticImageDataset(64)
+        order = ds.epoch_order(epoch=2)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_epoch_orders_differ(self):
+        ds = SyntheticImageDataset(64)
+        assert not np.array_equal(ds.epoch_order(0), ds.epoch_order(1))
+
+    def test_index_validation(self):
+        ds = SyntheticImageDataset(5)
+        with pytest.raises(IndexError):
+            ds.label(5)
+        with pytest.raises(IndexError):
+            ds.encoded(-1)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(0)
+
+
+class TestTranslationDataset:
+    def test_pair_shapes(self):
+        ds = SyntheticTranslationDataset(30, vocab_size=1000, max_len=64)
+        src, tgt = ds.sentence_pair(0)
+        assert 4 <= len(src) <= 64
+        assert 4 <= len(tgt) <= 64
+        assert src.max() < 1000
+
+    def test_pairs_deterministic(self):
+        ds = SyntheticTranslationDataset(10, seed=1)
+        a = ds.sentence_pair(3)
+        b = SyntheticTranslationDataset(10, seed=1).sentence_pair(3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_padded_batch(self):
+        ds = SyntheticTranslationDataset(20, max_len=32)
+        src, tgt = ds.padded_batch(np.arange(8))
+        assert src.shape == (8, 32)
+        assert tgt.shape == (8, 32)
+        # Padding (id 0) exists and tokens are non-zero where real.
+        assert (src == 0).any()
+
+    def test_encoded_roundtrip_length(self):
+        ds = SyntheticTranslationDataset(5)
+        payload = ds.encoded(0)
+        src_len = int.from_bytes(payload[:4], "little")
+        src, _ = ds.sentence_pair(0)
+        assert src_len == len(src)

@@ -1,0 +1,86 @@
+"""CachedDataLoader: batching + pipeline overlap accounting."""
+
+import numpy as np
+import pytest
+
+from repro.data.cache import DataCache
+from repro.data.dataset import SyntheticImageDataset
+from repro.data.loader import CachedDataLoader
+from repro.utils.seeding import new_rng
+
+
+@pytest.fixture
+def cache():
+    return DataCache(SyntheticImageDataset(48, resolution=16, num_classes=4, seed=0))
+
+
+class TestBatches:
+    def test_batch_shapes(self, cache):
+        loader = CachedDataLoader(cache, batch_size=8, seed=0)
+        batch, labels, io_s, pre_s = next(loader.epoch_batches(0))
+        assert batch.shape == (8, 16, 16, 3)
+        assert labels.shape == (8,)
+        assert io_s > 0 and pre_s > 0
+
+    def test_iterations_per_epoch(self, cache):
+        loader = CachedDataLoader(cache, batch_size=8)
+        assert loader.iterations_per_epoch() == 6
+
+    def test_partition_restricts_samples(self, cache):
+        loader = CachedDataLoader(cache, batch_size=4, partition=np.arange(8))
+        assert loader.iterations_per_epoch() == 2
+
+    def test_validation(self, cache):
+        with pytest.raises(ValueError):
+            CachedDataLoader(cache, batch_size=0)
+        with pytest.raises(ValueError):
+            CachedDataLoader(cache, batch_size=4, partition=np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            CachedDataLoader(cache, batch_size=4, decode_workers=0)
+
+
+class TestEpochTimings:
+    def test_second_epoch_io_collapses(self, cache):
+        # Fig. 9 / §4.1: "the I/O time is reduced over 10 times".
+        loader = CachedDataLoader(cache, batch_size=8, pipelined=False, seed=0)
+        rng = new_rng(1)
+        epoch1 = loader.run_epoch(0, rng=rng)
+        epoch2 = loader.run_epoch(1, rng=rng)
+        assert epoch2.io_seconds < epoch1.io_seconds / 10
+
+    def test_pipelining_hides_cost(self, cache):
+        rng = new_rng(1)
+        gpu_time = 1.0  # plenty of compute to hide behind
+        pipelined = CachedDataLoader(cache, batch_size=8, pipelined=True, seed=0)
+        visible_piped = pipelined.run_epoch(
+            0, gpu_seconds_per_iteration=gpu_time, rng=rng
+        ).visible_seconds
+        naive = CachedDataLoader(
+            DataCache(cache.dataset), batch_size=8, pipelined=False, seed=0
+        )
+        visible_naive = naive.run_epoch(
+            0, gpu_seconds_per_iteration=gpu_time, rng=new_rng(1)
+        ).visible_seconds
+        assert visible_piped < visible_naive / 2
+
+    def test_decode_workers_divide_time(self, cache):
+        rng = new_rng(1)
+        one = CachedDataLoader(cache, batch_size=8, decode_workers=1, seed=0)
+        t1 = one.run_epoch(0, rng=rng)
+        four = CachedDataLoader(
+            DataCache(cache.dataset), batch_size=8, decode_workers=4, seed=0
+        )
+        t4 = four.run_epoch(0, rng=new_rng(1))
+        assert t4.io_seconds == pytest.approx(t1.io_seconds / 4, rel=0.05)
+
+    def test_level_counts_recorded(self, cache):
+        loader = CachedDataLoader(cache, batch_size=8, seed=0)
+        timings = loader.run_epoch(0, rng=new_rng(0))
+        assert timings.level_counts["nfs"] == 48
+
+    def test_per_iteration_visible(self, cache):
+        loader = CachedDataLoader(cache, batch_size=8, pipelined=False, seed=0)
+        timings = loader.run_epoch(0, rng=new_rng(0))
+        assert timings.per_iteration_visible() == pytest.approx(
+            timings.visible_seconds / timings.iterations
+        )

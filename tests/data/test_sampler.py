@@ -1,0 +1,99 @@
+"""Distributed sampler: disjointness, determinism, cache alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.data.sampler import DistributedSampler, make_samplers
+
+
+class TestDisjointness:
+    @given(
+        m=st.integers(1, 4),
+        n=st.integers(1, 4),
+        num_samples=st.integers(32, 400),
+        epoch=st.integers(0, 5),
+        aligned=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_worker_slices_disjoint(self, m, n, num_samples, epoch, aligned):
+        topo = ClusterTopology(m, n)
+        samplers = make_samplers(num_samples, topo, cache_aligned=aligned)
+        seen: set[int] = set()
+        for sampler in samplers:
+            indices = sampler.epoch_indices(epoch)
+            as_set = set(indices.tolist())
+            assert len(as_set) == len(indices)  # no repeats within worker
+            assert not (as_set & seen)  # no overlap across workers
+            seen |= as_set
+
+    def test_equal_lengths_with_drop_last(self):
+        topo = ClusterTopology(2, 4)
+        samplers = make_samplers(103, topo)
+        lengths = {s.epoch_indices(0).size for s in samplers}
+        assert len(lengths) == 1  # synchronous SGD requires this
+
+
+class TestDeterminism:
+    def test_same_epoch_same_indices(self):
+        topo = ClusterTopology(2, 2)
+        sampler = DistributedSampler(100, topo, rank=1, seed=3)
+        np.testing.assert_array_equal(
+            sampler.epoch_indices(4), sampler.epoch_indices(4)
+        )
+
+    def test_different_epochs_differ(self):
+        topo = ClusterTopology(2, 2)
+        sampler = DistributedSampler(100, topo, rank=1, seed=3)
+        assert not np.array_equal(sampler.epoch_indices(0), sampler.epoch_indices(1))
+
+    def test_seed_changes_order(self):
+        topo = ClusterTopology(2, 2)
+        a = DistributedSampler(100, topo, rank=0, seed=1).epoch_indices(0)
+        b = DistributedSampler(100, topo, rank=0, seed=2).epoch_indices(0)
+        assert not np.array_equal(a, b)
+
+
+class TestCacheAlignment:
+    def test_aligned_indices_owned_by_node(self):
+        # DataCache's sharding rule: index % m == node.
+        topo = ClusterTopology(4, 2)
+        for rank in range(topo.world_size):
+            sampler = DistributedSampler(200, topo, rank=rank, cache_aligned=True)
+            node = topo.node_of(rank)
+            indices = sampler.epoch_indices(0)
+            assert np.all(indices % 4 == node)
+
+    def test_unaligned_spans_whole_dataset(self):
+        topo = ClusterTopology(4, 2)
+        sampler = DistributedSampler(200, topo, rank=0, cache_aligned=False)
+        indices = np.concatenate([sampler.epoch_indices(e) for e in range(10)])
+        # Over several epochs rank 0 sees indices from foreign shards.
+        assert np.any(indices % 4 != 0)
+
+    def test_aligned_matches_datacache_owns(self):
+        from repro.data.cache import DataCache
+        from repro.data.dataset import SyntheticImageDataset
+
+        topo = ClusterTopology(3, 2)
+        dataset = SyntheticImageDataset(60, resolution=8)
+        for node in range(3):
+            cache = DataCache(dataset, node=node, num_nodes=3)
+            sampler = DistributedSampler(60, topo, rank=topo.rank(node, 0))
+            for index in sampler.epoch_indices(0):
+                assert cache.owns(int(index))
+
+
+class TestValidation:
+    def test_rank_out_of_range(self):
+        with pytest.raises(IndexError):
+            DistributedSampler(10, ClusterTopology(2, 2), rank=4)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            DistributedSampler(0, ClusterTopology(1, 1), rank=0)
+        sampler = DistributedSampler(10, ClusterTopology(1, 1), rank=0)
+        with pytest.raises(ValueError):
+            sampler.epoch_indices(-1)

@@ -1,0 +1,202 @@
+"""Figure harnesses: each must regenerate the paper's qualitative story."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_breakdown,
+    fig6_topk_ops,
+    fig7_aggregation,
+    fig8_hitopk_breakdown,
+    fig9_datacache,
+    pto_speedup,
+    table1_instances,
+)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1_instances.run()
+        assert len(rows) == 3
+        assert rows[2][0] == "Tencent"
+
+    def test_main_prints(self, capsys):
+        table1_instances.main()
+        out = capsys.readouterr().out
+        assert "p3.16xlarge" in out
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return {(b.scheme, b.resolution): b for b in fig1_breakdown.run()}
+
+    def test_four_bars(self, bars):
+        assert len(bars) == 4
+
+    def test_topk_compression_exceeds_ffbp_at_224(self, bars):
+        # The paper's headline Fig. 1 observation: exact top-k costs
+        # ~0.239 s vs FF&BP 0.204 s.
+        bar = bars[("TopK-SGD", 224)]
+        assert bar.components["compression"] > bar.components["ff_bp"]
+
+    def test_topk_shrinks_communication(self, bars):
+        dense = bars[("Dense-SGD", 224)].components["communication"]
+        sparse = bars[("TopK-SGD", 224)].components["communication"]
+        assert sparse < dense / 2
+
+    def test_io_and_comm_dominate_dense(self, bars):
+        bar = bars[("Dense-SGD", 224)]
+        io_comm = bar.components["io"] + bar.components["communication"]
+        assert io_comm > 0.4 * bar.total
+
+    def test_lars_relatively_significant_at_96(self, bars):
+        # "the LARS computing time is also relatively significant
+        # compared with the feed-forward and backpropagation time."
+        bar = bars[("Dense-SGD", 96)]
+        assert bar.components["lars"] > 0.1 * bar.components["ff_bp"]
+
+    def test_main_prints(self, capsys):
+        fig1_breakdown.main()
+        assert "FF&BP" in capsys.readouterr().out
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        # CPU measurement on small sizes only (CI friendly).
+        return fig6_topk_ops.run(sizes=(256_000, 1_000_000), repeats=2)
+
+    def test_gpu_projection_ordering(self, timings):
+        by_key = {(t.operator, t.d): t for t in timings}
+        for d in (256_000, 1_000_000):
+            assert (
+                by_key[("MSTopK", d)].gpu_projected
+                < by_key[("DGC", d)].gpu_projected
+                < by_key[("nn.topk", d)].gpu_projected
+            )
+
+    def test_cpu_mstopk_beats_naive_sort(self, timings):
+        by_key = {(t.operator, t.d): t for t in timings}
+        d = 1_000_000
+        assert by_key[("MSTopK", d)].cpu_seconds < by_key[("nn.topk", d)].cpu_seconds
+
+    def test_no_cpu_mode(self):
+        rows = fig6_topk_ops.run(sizes=(256_000,), measure_cpu=False)
+        assert all(r.cpu_seconds is None for r in rows)
+
+    def test_main_prints(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            fig6_topk_ops, "SMALL_SIZES", (256_000,), raising=True
+        )
+        fig6_topk_ops.main()
+        assert "MSTopK" in capsys.readouterr().out
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig7_aggregation.run(sizes=(10_000_000, 100_000_000, 250_000_000))
+
+    def test_paper_ordering_at_scale(self, points):
+        by = {(p.scheme, p.d): p.seconds for p in points}
+        for d in (100_000_000, 250_000_000):
+            naive = by[("NaiveAG", d)]
+            tree = by[("TreeAR", d)]
+            torus = by[("2DTAR", d)]
+            hitopk = by[("HiTopKComm", d)]
+            assert hitopk < torus < tree < naive, f"ordering broken at d={d}"
+
+    def test_hitopk_margin_is_large(self, points):
+        by = {(p.scheme, p.d): p.seconds for p in points}
+        d = 250_000_000
+        assert by[("2DTAR", d)] / by[("HiTopKComm", d)] > 2.5
+
+    def test_times_grow_with_size(self, points):
+        by = {(p.scheme, p.d): p.seconds for p in points}
+        for scheme in ("NaiveAG", "TreeAR", "2DTAR", "HiTopKComm"):
+            assert by[(scheme, 250_000_000)] > by[(scheme, 10_000_000)]
+
+    def test_main_prints(self, capsys):
+        fig7_aggregation.main()
+        assert "HiTopKComm" in capsys.readouterr().out
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig8_hitopk_breakdown.run()
+
+    def test_inter_allgather_dominates(self, points):
+        # "the most time-consuming part is the inter-communication".
+        for p in points:
+            if p.density >= 0.01:
+                inter = p.breakdown.get("inter_allgather")
+                assert inter == max(p.breakdown.steps.values()), (
+                    f"{p.model} rho={p.density}"
+                )
+
+    def test_mstopk_step_negligible(self, points):
+        for p in points:
+            assert p.breakdown.fraction("mstopk") < 0.2
+
+    def test_total_scale_matches_paper(self, points):
+        # Fig. 8a: ResNet-50 at rho=0.01 totals ~20-30 ms.
+        by = {(p.model, p.density): p for p in points}
+        total = by[("ResNet-50", 0.01)].breakdown.total
+        assert 0.008 < total < 0.06
+
+    def test_transformer_slower_than_resnet(self, points):
+        by = {(p.model, p.density): p for p in points}
+        for rho in (0.001, 0.01):
+            assert (
+                by[("Transformer", rho)].breakdown.total
+                > by[("ResNet-50", rho)].breakdown.total
+            )
+
+    def test_main_prints(self, capsys):
+        fig8_hitopk_breakdown.main()
+        assert "Inter-AllGather" in capsys.readouterr().out
+
+
+class TestFig9:
+    def test_model_bars(self):
+        naive, cached = fig9_datacache.run_model()
+        # ">10x" I/O reduction and "~2x" end-to-end (paper §5.4/Fig. 9).
+        assert naive.io_seconds / cached.io_seconds > 10
+        assert 1.5 < naive.total / cached.total < 3.5
+
+    def test_functional_cache_run(self):
+        run = fig9_datacache.run_functional(num_samples=32, batch_size=8)
+        assert run.nfs_reads == 32
+        assert run.memory_hits == 32
+        assert run.speedup > 10
+
+    def test_main_prints(self, capsys):
+        fig9_datacache.main()
+        out = capsys.readouterr().out
+        assert "DataCache" in out and "speedup" in out
+
+
+class TestPTOHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return pto_speedup.run()
+
+    def test_speedups_near_2x(self, rows):
+        # §5.4: "about 2x speedups ... on both ResNet-50 and Transformer".
+        for row in rows:
+            assert 1.3 < row.speedup < 3.2, row.model
+
+    def test_times_near_paper(self, rows):
+        paper = pto_speedup.PAPER_PTO
+        for row in rows:
+            serial_paper, pto_paper = paper[row.model]
+            assert row.serial_ms == pytest.approx(serial_paper, rel=0.35)
+            assert row.pto_ms == pytest.approx(pto_paper, rel=0.35)
+
+    def test_functional_equality(self, rows):
+        assert all(r.functional_match for r in rows)
+
+    def test_main_prints(self, capsys):
+        pto_speedup.main()
+        assert "PTO" in capsys.readouterr().out

@@ -1,0 +1,23 @@
+"""The run-everything entry point."""
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_all_twelve_experiments_registered(self):
+        names = [name for name, _ in EXPERIMENTS]
+        assert len(names) == 12
+        for expected in ("Table 1", "Fig. 1", "Fig. 6", "Fig. 7", "Fig. 8",
+                         "Fig. 9", "Fig. 10", "Table 2", "Table 3",
+                         "Table 4", "Table 5"):
+            assert any(expected in n for n in names), expected
+
+    def test_only_filter_runs_one(self, capsys):
+        assert main(["--only", "Table 1"]) == 0
+        out = capsys.readouterr().out
+        assert "p3.16xlarge" in out
+        assert "HiTopKComm" not in out  # Fig. 7 was filtered out
+
+    def test_only_filter_case_insensitive(self, capsys):
+        assert main(["--only", "table 4"]) == 0
+        assert "128-GPU" in capsys.readouterr().out

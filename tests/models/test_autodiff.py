@@ -1,0 +1,296 @@
+"""Autodiff tape: every op checked against central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.models.autodiff import (
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    embedding,
+    exp,
+    layer_norm,
+    log,
+    matmul,
+    power,
+    relu,
+    softmax,
+    softmax_cross_entropy,
+    tanh,
+    tensor_mean,
+    tensor_sum,
+)
+from repro.utils.seeding import new_rng
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x: np.ndarray, atol=1e-5, rtol=1e-4):
+    """Compare tape gradient against finite differences."""
+    t = Tensor(x.copy(), requires_grad=True)
+    loss = build_loss(t)
+    loss.backward()
+
+    def scalar_fn(arr):
+        return float(build_loss(Tensor(arr)).data)
+
+    expected = numerical_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol, rtol=rtol)
+
+
+class TestElementwise:
+    def test_add_broadcast(self, rng):
+        x = rng.normal(size=(3, 4))
+        bias = Tensor(rng.normal(size=4))
+        check_gradient(lambda t: (t + bias).sum(), x)
+
+    def test_mul_broadcast_gradients_both_sides(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=3), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.broadcast_to(b.data, (2, 3)))
+        np.testing.assert_allclose(b.grad, a.data.sum(axis=0))
+
+    def test_power(self, rng):
+        x = np.abs(rng.normal(size=6)) + 0.5
+        check_gradient(lambda t: power(t, 3.0).sum(), x)
+
+    def test_exp_log(self, rng):
+        x = np.abs(rng.normal(size=5)) + 0.5
+        check_gradient(lambda t: exp(t).sum(), x)
+        check_gradient(lambda t: log(t).sum(), x)
+
+    def test_relu_grad_zero_below(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        relu(t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0])
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: tanh(t).sum(), rng.normal(size=7))
+
+    def test_sub_and_div(self, rng):
+        x = rng.normal(size=4)
+        check_gradient(lambda t: (t - 2.0).sum(), x)
+        check_gradient(lambda t: (t / 2.0).sum(), x)
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        w = Tensor(rng.normal(size=(4, 3)))
+        x = rng.normal(size=(5, 4))
+        check_gradient(lambda t: matmul(t, w).sum(), x)
+
+    def test_2d_weight_gradient(self, rng):
+        x = Tensor(rng.normal(size=(5, 4)))
+        w = rng.normal(size=(4, 3))
+        check_gradient(lambda t: matmul(x, t).sum(), w)
+
+    def test_batched_lhs(self, rng):
+        w = Tensor(rng.normal(size=(4, 3)))
+        x = rng.normal(size=(2, 5, 4))
+        check_gradient(lambda t: matmul(t, w).sum(), x)
+
+    def test_batched_weight_broadcast(self, rng):
+        x = Tensor(rng.normal(size=(2, 5, 4)))
+        w = rng.normal(size=(4, 3))
+        check_gradient(lambda t: matmul(x, t).sum(), w)
+
+    def test_batched_both(self, rng):
+        b = Tensor(rng.normal(size=(2, 4, 3)))
+        a = rng.normal(size=(2, 5, 4))
+        check_gradient(lambda t: matmul(t, b).sum(), a)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (tensor_sum(t, axis=0) * 2.0).sum(), x)
+
+    def test_sum_keepdims(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t * tensor_sum(t, axis=1, keepdims=True)).sum(), x)
+
+    def test_mean_tuple_axis(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda t: tensor_mean(t, axis=(1, 2)).sum(), x)
+
+    def test_reshape_transpose(self, rng):
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t.reshape(12) * np.arange(12.0)).sum(), x)
+        check_gradient(lambda t: (t.transpose() @ Tensor(np.ones(3))).sum(), x)
+
+    def test_transpose_axes(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        check_gradient(lambda t: (t.transpose((0, 2, 1)) * 1.5).sum(), x)
+
+
+class TestFusedOps:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(4, 6))))
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_softmax_gradient(self, rng):
+        x = rng.normal(size=(3, 5))
+        coeff = rng.normal(size=(3, 5))
+        check_gradient(lambda t: (softmax(t) * Tensor(coeff)).sum(), x)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        loss = softmax_cross_entropy(Tensor(logits), labels)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(4), labels].mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_cross_entropy_gradient(self, rng):
+        labels = np.array([1, 0, 2])
+        x = rng.normal(size=(3, 4))
+        check_gradient(lambda t: softmax_cross_entropy(t, labels), x)
+
+    def test_cross_entropy_sequence_with_padding(self, rng):
+        logits = rng.normal(size=(2, 3, 4))
+        labels = np.array([[1, 2, -1], [0, -1, -1]])  # -1 = pad
+        x = logits.copy()
+        check_gradient(lambda t: softmax_cross_entropy(t, labels), x)
+        # Padded positions must receive zero gradient.
+        t = Tensor(logits, requires_grad=True)
+        softmax_cross_entropy(t, labels).backward()
+        np.testing.assert_array_equal(t.grad[0, 2], np.zeros(4))
+
+    def test_layer_norm_gradient(self, rng):
+        gamma = Tensor(rng.normal(size=5) + 1.0)
+        beta = Tensor(rng.normal(size=5))
+        x = rng.normal(size=(3, 5))
+        check_gradient(
+            lambda t: (layer_norm(t, gamma, beta) * 0.7).sum(), x, atol=1e-4
+        )
+
+    def test_layer_norm_param_gradients(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        gamma_val = rng.normal(size=5) + 1.0
+        beta_val = rng.normal(size=5)
+        check_gradient(
+            lambda t: layer_norm(x, t, Tensor(beta_val)).sum(), gamma_val
+        )
+        check_gradient(
+            lambda t: layer_norm(x, Tensor(gamma_val), t).sum(), beta_val
+        )
+
+    def test_layer_norm_output_standardised(self, rng):
+        out = layer_norm(
+            Tensor(rng.normal(size=(4, 8)) * 5 + 3), Tensor(np.ones(8)), Tensor(np.zeros(8))
+        )
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-4)
+
+    def test_embedding_gradient_scatter(self, rng):
+        table_val = rng.normal(size=(6, 3))
+        ids = np.array([[1, 1], [4, 0]])
+        check_gradient(lambda t: (embedding(t, ids) * 2.0).sum(), table_val)
+
+
+class TestConvPool:
+    def test_conv2d_matches_naive(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=1, padding=1)
+        # Naive direct convolution reference.
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros((2, 4, 6, 6))
+        for n in range(2):
+            for o in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        expected[n, o, i, j] = np.sum(
+                            padded[n, :, i : i + 3, j : j + 3] * w[o]
+                        )
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_conv2d_input_gradient(self, rng):
+        w = Tensor(rng.normal(size=(2, 1, 3, 3)))
+        x = rng.normal(size=(1, 1, 5, 5))
+        check_gradient(lambda t: conv2d(t, w, padding=1).sum(), x, atol=1e-4)
+
+    def test_conv2d_weight_gradient(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 5, 5)))
+        w = rng.normal(size=(3, 2, 3, 3))
+        check_gradient(lambda t: conv2d(x, t, padding=1).sum(), w, atol=1e-4)
+
+    def test_conv2d_stride(self, rng):
+        out = conv2d(
+            Tensor(rng.normal(size=(1, 1, 8, 8))),
+            Tensor(rng.normal(size=(1, 1, 3, 3))),
+            stride=2,
+            padding=1,
+        )
+        assert out.data.shape == (1, 1, 4, 4)
+
+    def test_avg_pool(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = avg_pool2d(Tensor(x), 2)
+        assert out.data.shape == (1, 2, 2, 2)
+        assert out.data[0, 0, 0, 0] == pytest.approx(x[0, 0, :2, :2].mean())
+
+    def test_avg_pool_gradient(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        check_gradient(lambda t: (avg_pool2d(t, 2) * 3.0).sum(), x)
+
+    def test_avg_pool_indivisible_rejected(self, rng):
+        with pytest.raises(ValueError):
+            avg_pool2d(Tensor(rng.normal(size=(1, 1, 5, 5))), 2)
+
+
+class TestEngine:
+    def test_backward_requires_scalar(self, rng):
+        t = Tensor(rng.normal(size=4), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward()
+
+    def test_gradient_accumulates_across_uses(self, rng):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (t * t).sum()  # d/dt t^2 = 2t
+        loss.backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        a = t * 2.0
+        b = t * 5.0
+        (a + b).sum().backward()
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_no_grad_without_requires(self, rng):
+        t = Tensor(rng.normal(size=3))
+        out = (t * 2.0).sum()
+        out.backward()
+        assert t.grad is None
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 1.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_deep_chain_iterative_toposort(self):
+        # 2000-deep chain: a recursive topo-sort would blow the stack.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        node = t
+        for _ in range(2000):
+            node = node + Tensor(np.array([0.0]))
+        node.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])

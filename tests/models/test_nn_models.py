@@ -1,0 +1,135 @@
+"""Trainable NumPy models: learning signal + interface contracts."""
+
+import numpy as np
+import pytest
+
+from repro.models.nn.convnet import SmallConvNet
+from repro.models.nn.mlp import MLPClassifier
+from repro.models.nn.transformer import TinyTransformer, make_copy_task
+from repro.optim.sgd import SGD
+from repro.train.synthetic import make_spiral_classification, make_synthetic_images
+from repro.utils.seeding import new_rng
+
+
+def train_steps(model, params, x, y, steps=60, lr=0.1, batch=32):
+    opt = SGD(lr=lr, momentum=0.9)
+    losses = []
+    rng = new_rng(0)
+    for _ in range(steps):
+        idx = rng.choice(len(x), size=min(batch, len(x)), replace=False)
+        loss, grads, _ = model.loss_and_grad(params, x[idx], y[idx])
+        opt.step(params, grads)
+        losses.append(loss)
+    return losses
+
+
+class TestMLP:
+    def test_param_shapes(self, rng):
+        model = MLPClassifier(input_dim=2, hidden=(8, 8), num_classes=3)
+        params = model.init_params(rng)
+        assert params["fc0.weight"].shape == (2, 8)
+        assert params["fc2.weight"].shape == (8, 3)
+        assert set(params) == {
+            "fc0.weight", "fc0.bias", "fc1.weight", "fc1.bias",
+            "fc2.weight", "fc2.bias",
+        }
+
+    def test_training_reduces_loss(self, rng):
+        x, y = make_spiral_classification(256, num_classes=3, rng=rng)
+        model = MLPClassifier(input_dim=2, hidden=(24,), num_classes=3)
+        params = model.init_params(rng)
+        losses = train_steps(model, params, x, y)
+        assert np.mean(losses[-10:]) < 0.5 * losses[0]
+
+    def test_topk_evaluate(self, rng):
+        model = MLPClassifier(input_dim=2, hidden=(4,), num_classes=4)
+        params = model.init_params(rng)
+        x, y = make_spiral_classification(64, num_classes=4, rng=rng)
+        top1 = model.evaluate(params, x, y, topk=1)
+        top4 = model.evaluate(params, x, y, topk=4)
+        assert 0.0 <= top1 <= top4 <= 1.0
+        assert top4 == 1.0  # top-C is always perfect
+
+    def test_predict_shape(self, rng):
+        model = MLPClassifier(input_dim=2, hidden=(4,), num_classes=3)
+        params = model.init_params(rng)
+        preds = model.predict(params, rng.normal(size=(10, 2)))
+        assert preds.shape == (10,)
+        assert preds.max() < 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=0)
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=2, num_classes=1)
+
+
+class TestConvNet:
+    def test_training_reduces_loss(self, rng):
+        x, y = make_synthetic_images(192, num_classes=3, image_size=12, rng=rng)
+        model = SmallConvNet(channels=(6, 8), num_classes=3, image_size=12)
+        params = model.init_params(rng)
+        losses = train_steps(model, params, x, y, steps=50, lr=0.1)
+        assert np.mean(losses[-10:]) < 0.8 * losses[0]
+
+    def test_gradients_for_all_params(self, rng):
+        model = SmallConvNet(channels=(4, 4), num_classes=3, image_size=8)
+        params = model.init_params(rng)
+        x, y = make_synthetic_images(8, num_classes=3, image_size=8, rng=rng)
+        _, grads, metrics = model.loss_and_grad(params, x, y)
+        assert set(grads) == set(params)
+        for name, g in grads.items():
+            assert g.shape == params[name].shape
+            assert np.isfinite(g).all()
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+
+    def test_odd_image_size_rejected(self):
+        with pytest.raises(ValueError):
+            SmallConvNet(image_size=13)
+
+
+class TestTinyTransformer:
+    def test_copy_task_learnable(self, rng):
+        x, y = make_copy_task(rng, num_samples=512, vocab_size=16, seq_len=8)
+        model = TinyTransformer(vocab_size=16, d_model=24, d_ff=48, max_len=8)
+        params = model.init_params(rng)
+        losses = train_steps(model, params, x, y, steps=120, lr=0.3, batch=64)
+        assert np.mean(losses[-10:]) < 0.6 * np.mean(losses[:5])
+
+    def test_shift_task_needs_attention(self, rng):
+        # y depends on the *neighbouring* token, so accuracy above chance
+        # proves attention moved information across positions.
+        x, y = make_copy_task(rng, num_samples=600, vocab_size=12, seq_len=6, shift=1)
+        model = TinyTransformer(vocab_size=12, d_model=24, d_ff=48, max_len=6)
+        params = model.init_params(rng)
+        train_steps(model, params, x, y, steps=250, lr=0.3, batch=64)
+        acc = model.evaluate(params, x[:200], y[:200])
+        assert acc > 2.5 / 12  # comfortably above the 1/12 chance level
+
+    def test_padding_ignored_in_loss(self, rng):
+        model = TinyTransformer(vocab_size=8, d_model=8, d_ff=16, max_len=4)
+        params = model.init_params(rng)
+        x = rng.integers(1, 8, size=(2, 4))
+        y_full = rng.integers(0, 8, size=(2, 4))
+        y_pad = y_full.copy()
+        y_pad[:, 2:] = -1
+        loss_full, _, _ = model.loss_and_grad(params, x, y_full)
+        loss_pad, _, _ = model.loss_and_grad(params, x, y_pad)
+        assert loss_full != loss_pad  # padding actually changes the loss
+
+    def test_sequence_too_long_rejected(self, rng):
+        model = TinyTransformer(vocab_size=8, max_len=4)
+        params = {k: v for k, v in model.init_params(rng).items()}
+        from repro.models.autodiff import Tensor
+
+        tensors = {k: Tensor(v) for k, v in params.items()}
+        with pytest.raises(ValueError):
+            model.logits(tensors, rng.integers(1, 8, size=(1, 6)))
+
+    def test_copy_task_shift_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_copy_task(rng, num_samples=4, seq_len=4, shift=4)
+
+    def test_odd_d_model_rejected(self):
+        with pytest.raises(ValueError):
+            TinyTransformer(d_model=15)

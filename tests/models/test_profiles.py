@@ -1,0 +1,91 @@
+"""Model profiles: the inventories the paper's numbers depend on."""
+
+import pytest
+
+from repro.models.profiles import (
+    get_profile,
+    resnet50_profile,
+    transformer_profile,
+    vgg19_profile,
+)
+
+
+class TestResNet50:
+    def test_exactly_161_tensors(self):
+        # "the ResNet-50 model, which has 161 layers" (§4.2).
+        assert resnet50_profile().num_layers == 161
+
+    def test_parameter_count(self):
+        # Standard ResNet-50: 25.557M parameters.
+        params = resnet50_profile().num_params
+        assert params == pytest.approx(25.56e6, rel=0.005)
+
+    def test_conv1_and_fc_present(self):
+        profile = resnet50_profile()
+        assert "conv1.weight" in profile.layer_names
+        assert "fc.weight" in profile.layer_names
+        fc_idx = profile.layer_names.index("fc.weight")
+        assert profile.layer_sizes[fc_idx] == 2048 * 1000
+
+    def test_throughput_table(self):
+        profile = resnet50_profile()
+        # Table 4 single-GPU rates.
+        assert profile.single_gpu_throughput(96) == 4400
+        assert profile.single_gpu_throughput(224) == 1240
+        # §5.5.2 baseline.
+        assert profile.table3_single_gpu == 1150
+
+    def test_unknown_resolution(self):
+        with pytest.raises(KeyError):
+            resnet50_profile().single_gpu_throughput(512)
+
+
+class TestVGG19:
+    def test_parameter_count(self):
+        # VGG-19: 143.67M parameters.
+        assert vgg19_profile().num_params == pytest.approx(143.67e6, rel=0.005)
+
+    def test_tensor_count(self):
+        # 16 convs + 3 fc, each with weight + bias.
+        assert vgg19_profile().num_layers == 38
+
+    def test_fc_layers_dominate(self):
+        profile = vgg19_profile()
+        fc0 = profile.layer_sizes[profile.layer_names.index("fc0.weight")]
+        assert fc0 == 512 * 7 * 7 * 4096
+
+
+class TestTransformer:
+    def test_parameter_count_near_110m(self):
+        # "110 million parameters for Transformer" (§5.3).
+        assert transformer_profile().num_params == pytest.approx(110e6, rel=0.03)
+
+    def test_single_gpu_rate(self):
+        assert transformer_profile().table3_single_gpu == 32
+
+    def test_lamb_kernels_heavier_than_lars(self):
+        assert (
+            transformer_profile().lars_kernels_per_layer
+            > resnet50_profile().lars_kernels_per_layer
+        )
+
+    def test_sample_unit(self):
+        assert "256 words" in transformer_profile().sample_unit
+
+
+class TestRegistry:
+    def test_get_profile_variants(self):
+        assert get_profile("resnet50").name == "ResNet-50"
+        assert get_profile("ResNet-50").name == "ResNet-50"
+        assert get_profile("VGG19").name == "VGG-19"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("alexnet")
+
+    def test_no_calibration_raises(self):
+        from repro.models.profiles import ModelProfile
+
+        empty = ModelProfile("x", ("a",), (1,))
+        with pytest.raises(ValueError):
+            empty.single_gpu_throughput()

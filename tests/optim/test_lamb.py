@@ -1,0 +1,60 @@
+"""LAMB optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.optim.lamb import LAMB
+
+
+class TestLamb:
+    def test_step_moves_params(self, rng):
+        opt = LAMB(lr=0.01)
+        params = {"w": rng.normal(size=8)}
+        before = params["w"].copy()
+        opt.step(params, {"w": rng.normal(size=8)})
+        assert not np.array_equal(params["w"], before)
+
+    def test_converges_on_quadratic(self):
+        opt = LAMB(lr=0.05, weight_decay=0.0)
+        params = {"w": np.array([5.0, -3.0, 2.0])}
+        for _ in range(500):
+            opt.step(params, {"w": params["w"].copy()})
+        assert np.linalg.norm(params["w"]) < 0.5
+
+    def test_trust_ratio(self, rng):
+        opt = LAMB()
+        w = np.array([3.0, 4.0])
+        u = np.array([1.0, 0.0])
+        assert opt.trust_ratio(w, u) == pytest.approx(5.0)
+
+    def test_trust_ratio_degenerate(self):
+        opt = LAMB()
+        assert opt.trust_ratio(np.zeros(2), np.ones(2)) == 1.0
+
+    def test_precomputed_ratios_match_internal(self, rng):
+        params_a = {"w": rng.normal(size=8)}
+        params_b = {k: v.copy() for k, v in params_a.items()}
+        grads = {"w": rng.normal(size=8)}
+        opt_a, opt_b = LAMB(lr=0.01), LAMB(lr=0.01)
+        updates = opt_a.updates(params_a, grads)
+        ratios = {"w": opt_a.trust_ratio(params_a["w"], updates["w"])}
+        opt_a.step(params_a, grads)
+        opt_b.step(params_b, grads, precomputed_ratios=ratios)
+        np.testing.assert_allclose(params_a["w"], params_b["w"])
+
+    def test_updates_is_pure(self, rng):
+        opt = LAMB()
+        params = {"w": rng.normal(size=4)}
+        grads = {"w": rng.normal(size=4)}
+        u1 = opt.updates(params, grads)
+        u2 = opt.updates(params, grads)
+        np.testing.assert_allclose(u1["w"], u2["w"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LAMB(lr=0.0)
+        with pytest.raises(ValueError):
+            LAMB(betas=(1.0, 0.9))
+        opt = LAMB()
+        with pytest.raises(ValueError):
+            opt.step({"w": np.zeros(2)}, {"w": np.zeros(3)})

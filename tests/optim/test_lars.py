@@ -1,0 +1,73 @@
+"""LARS: the layer-wise rate of paper Eq. (11)."""
+
+import numpy as np
+import pytest
+
+from repro.optim.lars import LARS, lars_coefficient, lars_coefficients
+
+
+class TestCoefficient:
+    def test_eq11_value(self):
+        w = np.array([3.0, 4.0])  # ||w|| = 5
+        g = np.array([0.6, 0.8])  # ||g|| = 1
+        lam = lars_coefficient(
+            w, g, eta=0.1, trust_coefficient=0.001, weight_decay=0.01
+        )
+        expected = 0.001 * 0.1 * 5.0 / (1.0 + 0.01 * 5.0)
+        assert lam == pytest.approx(expected)
+
+    def test_zero_norm_falls_back_to_eta(self):
+        assert lars_coefficient(np.zeros(3), np.ones(3), eta=0.2) == 0.2
+        assert lars_coefficient(np.ones(3), np.zeros(3), eta=0.2) == 0.2
+
+    def test_vectorised(self, rng):
+        weights = [rng.normal(size=4) for _ in range(5)]
+        grads = [rng.normal(size=4) for _ in range(5)]
+        lam = lars_coefficients(weights, grads, eta=0.1)
+        assert lam.shape == (5,)
+        assert np.all(lam > 0)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            lars_coefficients([rng.normal(size=2)], [], eta=0.1)
+
+
+class TestOptimizer:
+    def test_skip_keywords(self, rng):
+        opt = LARS(lr=0.1)
+        params = {"fc.weight": rng.normal(size=4), "fc.bias": rng.normal(size=2)}
+        grads = {k: rng.normal(size=v.shape) for k, v in params.items()}
+        rates = opt.learning_rates(params, grads)
+        assert rates["fc.bias"] == 0.1  # biases use the global rate
+        assert rates["fc.weight"] != 0.1
+
+    def test_bn_params_skipped(self, rng):
+        opt = LARS(lr=0.1)
+        params = {"layer1.bn1.gamma": rng.normal(size=4)}
+        grads = {"layer1.bn1.gamma": rng.normal(size=4)}
+        assert opt.learning_rates(params, grads)["layer1.bn1.gamma"] == 0.1
+
+    def test_step_moves_params(self, rng):
+        opt = LARS(lr=0.1)
+        params = {"w.weight": rng.normal(size=8)}
+        before = params["w.weight"].copy()
+        opt.step(params, {"w.weight": rng.normal(size=8)})
+        assert not np.array_equal(params["w.weight"], before)
+
+    def test_precomputed_rates_used(self, rng):
+        # Injecting PTO-computed rates must match recomputing them.
+        params_a = {"w.weight": rng.normal(size=8)}
+        params_b = {k: v.copy() for k, v in params_a.items()}
+        grads = {"w.weight": rng.normal(size=8)}
+        opt_a, opt_b = LARS(lr=0.1), LARS(lr=0.1)
+        rates = opt_a.learning_rates(params_a, grads)
+        opt_a.step(params_a, grads)
+        opt_b.step(params_b, grads, precomputed_rates=rates)
+        np.testing.assert_allclose(params_a["w.weight"], params_b["w.weight"])
+
+    def test_reduces_quadratic_loss(self):
+        opt = LARS(lr=1.0, trust_coefficient=0.1, weight_decay=0.0)
+        params = {"w.weight": np.array([5.0, -4.0])}
+        for _ in range(300):
+            opt.step(params, {"w.weight": params["w.weight"].copy()})
+        assert np.linalg.norm(params["w.weight"]) < 1.0

@@ -1,0 +1,109 @@
+"""Iteration-time model composition."""
+
+import pytest
+
+from repro.models.profiles import resnet50_profile
+from repro.perf.iteration_model import IterationModel, SchemeKind, io_visible_time
+
+
+@pytest.fixture
+def model_224(testbed):
+    return IterationModel(
+        network=testbed,
+        profile=resnet50_profile(),
+        scheme=SchemeKind.MSTOPK_HIER,
+        resolution=224,
+        local_batch=256,
+    )
+
+
+class TestComposition:
+    def test_breakdown_components(self, model_224):
+        breakdown = model_224.breakdown()
+        for key in ("io", "ff_bp", "compression", "communication", "lars", "sync"):
+            assert key in breakdown
+            assert breakdown.get(key) >= 0
+
+    def test_throughput_formula(self, model_224):
+        t = model_224.iteration_time()
+        assert model_224.throughput() == pytest.approx(256 * 128 / t)
+
+    def test_scaling_efficiency_bounded(self, model_224):
+        se = model_224.scaling_efficiency()
+        assert 0 < se <= 1.0
+
+    def test_ffbp_from_calibration(self, model_224):
+        assert model_224.t_ffbp() == pytest.approx(256 / 1240)
+
+    def test_string_scheme_coerced(self, testbed):
+        model = IterationModel(
+            network=testbed,
+            profile=resnet50_profile(),
+            scheme="2dtar",
+            resolution=224,
+            local_batch=256,
+        )
+        assert model.scheme is SchemeKind.DENSE_2DTAR
+
+    def test_batch_validation(self, testbed):
+        with pytest.raises(ValueError):
+            IterationModel(
+                network=testbed,
+                profile=resnet50_profile(),
+                scheme=SchemeKind.DENSE_TREE,
+                resolution=224,
+                local_batch=0,
+            )
+
+
+class TestSchemeEffects:
+    def _model(self, testbed, kind, **kw):
+        return IterationModel(
+            network=testbed,
+            profile=resnet50_profile(),
+            scheme=kind,
+            resolution=224,
+            local_batch=256,
+            **kw,
+        )
+
+    def test_topk_compression_exceeds_ffbp(self, testbed):
+        # The Fig. 1 finding that motivates MSTopK.
+        model = self._model(testbed, SchemeKind.TOPK_NAIVE)
+        breakdown = model.breakdown()
+        assert breakdown.get("compression") > breakdown.get("ff_bp")
+
+    def test_mstopk_compression_negligible(self, testbed):
+        model = self._model(testbed, SchemeKind.MSTOPK_HIER)
+        breakdown = model.breakdown()
+        assert breakdown.get("compression") < 0.01 * breakdown.get("ff_bp") + 0.005
+
+    def test_dense_tree_has_zero_compression(self, testbed):
+        model = self._model(testbed, SchemeKind.DENSE_TREE)
+        assert model.breakdown().get("compression") == 0.0
+
+    def test_pto_reduces_lars(self, testbed):
+        with_pto = self._model(testbed, SchemeKind.MSTOPK_HIER, use_pto=True)
+        without = self._model(testbed, SchemeKind.MSTOPK_HIER, use_pto=False)
+        assert with_pto.t_lars() < without.t_lars()
+
+    def test_datacache_reduces_io(self, testbed):
+        cached = self._model(testbed, SchemeKind.MSTOPK_HIER, use_datacache=True)
+        naive = self._model(testbed, SchemeKind.MSTOPK_HIER, use_datacache=False)
+        assert cached.t_io() < naive.t_io() / 5
+
+
+class TestIoModel:
+    def test_cached_beats_naive(self):
+        naive = io_visible_time(96, 256, 0.058, cached=False, workers=1)
+        cached = io_visible_time(96, 256, 0.058, cached=True, workers=1)
+        assert cached < naive / 10  # Fig. 9's ">10x" claim
+
+    def test_workers_divide_decode(self):
+        one = io_visible_time(224, 256, 0.2, cached=False, workers=1)
+        eight = io_visible_time(224, 256, 0.2, cached=False, workers=8)
+        assert eight < one / 3
+
+    def test_text_pipeline_is_cheap(self):
+        t = io_visible_time(0, 8, 0.25, cached=True, workers=1, text=True)
+        assert t < 1e-3

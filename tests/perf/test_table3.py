@@ -1,0 +1,72 @@
+"""Table 3 reproduction: who wins, by how much, and proximity to paper.
+
+We do not assert exact equality with the published numbers (the
+substrate is a simulator) — we assert the *shape*: orderings, the
+25–40% improvement band, the one workload where dense wins, and that
+every modelled cell lands within a generous tolerance of the paper.
+"""
+
+import pytest
+
+from repro.perf.throughput import PAPER_TABLE3, table3_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {(r.workload, r.scheme): r for r in table3_rows()}
+
+
+def throughput(rows, workload, scheme):
+    return rows[(workload, scheme)].throughput
+
+
+class TestOrderings:
+    def test_dense_sgd_always_slowest(self, rows):
+        for workload in PAPER_TABLE3:
+            dense = throughput(rows, workload, "Dense-SGD")
+            assert dense < throughput(rows, workload, "2DTAR-SGD")
+            assert dense < throughput(rows, workload, "MSTopK-SGD")
+
+    def test_2dtar_wins_only_at_resnet_224(self, rows):
+        # "2DTAR-SGD ... is slightly faster than our MSTopK-SGD in the
+        # case of ResNet-50 with the input resolution of 224*224" (§5.5.2).
+        w = "ResNet-50 (224*224)"
+        assert throughput(rows, w, "2DTAR-SGD") > throughput(rows, w, "MSTopK-SGD")
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["ResNet-50 (96*96)", "VGG-19", "Transformer"],
+    )
+    def test_mstopk_beats_2dtar_elsewhere(self, rows, workload):
+        assert throughput(rows, workload, "MSTopK-SGD") > throughput(
+            rows, workload, "2DTAR-SGD"
+        )
+
+    @pytest.mark.parametrize(
+        "workload",
+        ["ResNet-50 (96*96)", "VGG-19", "Transformer"],
+    )
+    def test_improvement_in_25_40_percent_band(self, rows, workload):
+        # "our MSTopK-SGD achieves 25%-40% improvement over 2DTAR-SGD"
+        # (§5.5.2); allow a band of 15-50% for the simulated substrate.
+        ratio = throughput(rows, workload, "MSTopK-SGD") / throughput(
+            rows, workload, "2DTAR-SGD"
+        )
+        assert 1.15 < ratio < 1.50, f"{workload}: ratio {ratio:.3f}"
+
+
+class TestPaperProximity:
+    @pytest.mark.parametrize("workload", list(PAPER_TABLE3))
+    @pytest.mark.parametrize("scheme", ["Dense-SGD", "2DTAR-SGD", "MSTopK-SGD"])
+    def test_throughput_within_30_percent(self, rows, workload, scheme):
+        modelled = throughput(rows, workload, scheme)
+        paper, _ = PAPER_TABLE3[workload][scheme]
+        assert modelled == pytest.approx(paper, rel=0.30), (
+            f"{workload} / {scheme}: modelled {modelled:.0f} vs paper {paper}"
+        )
+
+    @pytest.mark.parametrize("workload", list(PAPER_TABLE3))
+    def test_scaling_efficiency_sane(self, rows, workload):
+        for scheme in ("Dense-SGD", "2DTAR-SGD", "MSTopK-SGD"):
+            se = rows[(workload, scheme)].scaling_efficiency
+            assert 0.05 < se <= 1.0

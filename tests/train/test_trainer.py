@@ -1,0 +1,147 @@
+"""Distributed trainer: the data-parallel equivalence theorem.
+
+The defining property of synchronous data-parallel SGD (paper Eq. 1):
+``P`` workers with local batch ``b`` and summed-then-averaged gradients
+must take *exactly* the same step as one worker processing the combined
+``P·b`` batch.  The dense trainer is tested against that; the sparse
+trainers are tested for state handling and improvement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cloud_presets import make_cluster
+from repro.models.nn.mlp import MLPClassifier
+from repro.optim.sgd import SGD
+from repro.train.algorithms import make_scheme
+from repro.train.synthetic import make_spiral_classification
+from repro.train.trainer import DistributedTrainer
+from repro.utils.seeding import new_rng
+
+
+@pytest.fixture
+def setup(rng):
+    x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+    model = MLPClassifier(input_dim=2, hidden=(16,), num_classes=4)
+    return model, x, y
+
+
+class TestDataParallelEquivalence:
+    def test_dense_equals_large_batch_single_worker(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        scheme = make_scheme("dense", net)
+        trainer = DistributedTrainer(
+            model, scheme, optimizer=SGD(lr=0.1, momentum=0.0), seed=0
+        )
+
+        # One synchronous step with 4 workers x batch 8.
+        batches = [(x[w * 8 : (w + 1) * 8], y[w * 8 : (w + 1) * 8]) for w in range(4)]
+        trainer.train_step(batches)
+
+        # Reference: single worker, batch 32, same init.
+        reference = MLPClassifier(input_dim=2, hidden=(16,), num_classes=4)
+        ref_params = reference.init_params(new_rng(1))  # seed+1, as in trainer
+        _, grads, _ = reference.loss_and_grad(ref_params, x[:32], y[:32])
+        opt = SGD(lr=0.1, momentum=0.0)
+        opt.step(ref_params, grads)
+
+        for name in ref_params:
+            np.testing.assert_allclose(
+                trainer.params[name], ref_params[name], rtol=1e-9, atol=1e-11
+            )
+
+    def test_2dtar_matches_tree_dense(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        results = {}
+        for name in ("dense", "2dtar"):
+            trainer = DistributedTrainer(
+                model, make_scheme(name, net), optimizer=SGD(lr=0.1, momentum=0.0), seed=0
+            )
+            batches = [
+                (x[w * 8 : (w + 1) * 8], y[w * 8 : (w + 1) * 8]) for w in range(4)
+            ]
+            trainer.train_step(batches)
+            results[name] = {k: v.copy() for k, v in trainer.params.items()}
+        for name in results["dense"]:
+            np.testing.assert_allclose(
+                results["dense"][name], results["2dtar"][name], rtol=1e-9
+            )
+
+
+class TestTrainingLoop:
+    def test_report_structure(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        trainer = DistributedTrainer(model, make_scheme("dense", net), seed=0)
+        report = trainer.train(
+            x, y, epochs=2, local_batch=16, val_x=x[:64], val_y=y[:64]
+        )
+        assert len(report.epoch_losses) == 2
+        assert len(report.val_metrics) == 2
+        assert report.iterations > 0
+        assert report.comm_seconds > 0
+
+    def test_loss_improves(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        trainer = DistributedTrainer(
+            model, make_scheme("dense", net), optimizer=SGD(lr=0.1), seed=0
+        )
+        report = trainer.train(x, y, epochs=6, local_batch=16)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_sparse_scheme_trains(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        trainer = DistributedTrainer(
+            model,
+            make_scheme("mstopk", net, density=0.1),
+            optimizer=SGD(lr=0.1),
+            seed=0,
+        )
+        report = trainer.train(x, y, epochs=6, local_batch=16)
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_batch_count_validation(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        trainer = DistributedTrainer(model, make_scheme("dense", net), seed=0)
+        with pytest.raises(ValueError):
+            trainer.train_step([(x[:8], y[:8])])  # needs 4 batches
+
+    def test_dataset_too_small(self, rng):
+        model = MLPClassifier(input_dim=2, hidden=(4,), num_classes=4)
+        net = make_cluster(4, "tencent", gpus_per_node=8)  # 32 workers
+        trainer = DistributedTrainer(model, make_scheme("dense", net), seed=0)
+        x, y = make_spiral_classification(16, num_classes=4, rng=rng)
+        with pytest.raises(ValueError):
+            trainer.train(x, y, epochs=1, local_batch=4)
+
+    def test_same_seed_reproducible(self, setup):
+        model, x, y = setup
+        net = make_cluster(2, "tencent", gpus_per_node=2)
+        finals = []
+        for _ in range(2):
+            trainer = DistributedTrainer(
+                model, make_scheme("dense", net), optimizer=SGD(lr=0.1), seed=9
+            )
+            report = trainer.train(x, y, epochs=2, local_batch=16)
+            finals.append(report.epoch_losses[-1])
+        assert finals[0] == finals[1]
+
+
+class TestAlgorithmsFactory:
+    def test_known_names(self, tiny_cluster):
+        for name in ("dense", "dense-ring", "2dtar", "topk", "mstopk", "naiveag-mstopk"):
+            scheme = make_scheme(name, tiny_cluster)
+            assert scheme.topology.world_size == 4
+
+    def test_unknown_name(self, tiny_cluster):
+        with pytest.raises(KeyError):
+            make_scheme("psgd", tiny_cluster)
+
+    def test_sparse_schemes_have_error_feedback(self, tiny_cluster):
+        assert make_scheme("topk", tiny_cluster).ef is not None
+        assert make_scheme("mstopk", tiny_cluster).ef is not None

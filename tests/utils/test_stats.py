@@ -1,0 +1,62 @@
+"""Welford statistics vs NumPy reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import RunningStat, geometric_mean, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStat:
+    @given(values=st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        stat = summarize(values)
+        assert stat.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert stat.std == pytest.approx(np.std(values, ddof=1), rel=1e-6, abs=1e-5)
+        assert stat.min == min(values)
+        assert stat.max == max(values)
+
+    def test_single_value(self):
+        stat = summarize([3.0])
+        assert stat.mean == 3.0
+        assert stat.std == 0.0
+
+    def test_empty_variance(self):
+        assert RunningStat().variance == 0.0
+
+    @given(
+        a=st.lists(finite_floats, min_size=1, max_size=50),
+        b=st.lists(finite_floats, min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined(self, a, b):
+        merged = summarize(a).merge(summarize(b))
+        combined = summarize(a + b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-5)
+
+    def test_merge_with_empty(self):
+        stat = summarize([1.0, 2.0])
+        stat.merge(RunningStat())
+        assert stat.count == 2
+
+    def test_total(self):
+        assert summarize([1.0, 2.0, 3.0]).total == pytest.approx(6.0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

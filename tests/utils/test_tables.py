@@ -1,0 +1,33 @@
+"""Table rendering for harness output."""
+
+from repro.utils.tables import format_table, print_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        out = format_table(["a", "b"], [["x", 1.0], ["y", 2.5]])
+        assert "a" in out and "b" in out
+        assert "x" in out and "y" in out
+
+    def test_title_rendered(self):
+        out = format_table(["col"], [["v"]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_large_numbers_have_separators(self):
+        out = format_table(["n"], [[133376.0]])
+        assert "133,376" in out
+
+    def test_small_floats_rendered(self):
+        out = format_table(["n"], [[0.00123]])
+        assert "0.00123" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [["long-name", 1.0], ["x", 22.0]])
+        lines = out.splitlines()
+        # All data lines share the same width.
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_print_table(self, capsys):
+        print_table(["h"], [["row"]], title="T")
+        captured = capsys.readouterr()
+        assert "T" in captured.out and "row" in captured.out
