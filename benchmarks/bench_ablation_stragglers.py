@@ -30,16 +30,21 @@ def sweep():
 
 def test_bench_ablation_stragglers(benchmark, save_result):
     rows, inter_fraction = benchmark(sweep)
+    columns = ["sigma", "flat_mean_stretch", "hierarchical_mean_stretch"]
+    table_rows = [[float(s), round(float(f), 3), round(float(h), 3)] for s, f, h in rows]
     save_result(
         "ablation_stragglers",
         format_table(
             ["sigma", "flat mean stretch", "hierarchical mean stretch"],
-            [[s, round(f, 3), round(h, 3)] for s, f, h in rows],
+            table_rows,
             title=(
                 "Ablation: synchronous-step stretch under per-node jitter "
                 f"(16 nodes; HiTopKComm inter fraction = {inter_fraction:.2f})"
             ),
         ),
+        columns=columns,
+        rows=table_rows,
+        meta={"inter_fraction": round(float(inter_fraction), 4), "nodes": 16},
     )
     # No jitter -> no stretch; stretch grows with sigma for both.
     assert rows[0][1] == 1.0 and rows[0][2] == 1.0

@@ -36,13 +36,19 @@ def cost_sweep():
 
 def test_bench_gtopk_cost(benchmark, save_result):
     rows = benchmark(cost_sweep)
+    table_rows = [
+        [f"{d / 1e6:g}M"] + [round(float(t), 4) for t in ts] for d, *ts in rows
+    ]
     save_result(
         "extension_gtopk_cost",
         format_table(
             ["Elements", "NaiveAG", "gTopK", "HiTopKComm"],
-            [[f"{d / 1e6:g}M"] + [round(t, 4) for t in ts] for d, *ts in rows],
+            table_rows,
             title=f"Extension: sparse aggregation cost, rho = {RHO}, 16x8 testbed",
         ),
+        columns=["elements", "naiveag_seconds", "gtopk_seconds", "hitopkcomm_seconds"],
+        rows=table_rows,
+        meta={"density": RHO, "cluster": "16x8 tencent"},
     )
     for _, naive, gtopk, hitopk in rows:
         # gTop-k beats the flat All-Gather (log P rounds of k vs P·k

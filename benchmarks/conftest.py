@@ -3,10 +3,18 @@
 Every bench regenerates one paper table/figure: it saves the rendered
 table under ``results/`` (so the artefacts survive the run) and times a
 representative kernel with pytest-benchmark.
+
+Machine-readable results: every ``save_result`` call also emits a
+schema-checked ``results/BENCH_<name>.json`` so benchmark outputs can be
+tracked as trajectories across commits.  Benches that pass structured
+``columns``/``rows`` get first-class tabular JSON; the rest get the text
+artefact wrapped in the same envelope.  :func:`validate_bench_payload`
+is the single source of truth for the schema.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -14,6 +22,66 @@ import pytest
 from repro.utils.seeding import new_rng
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Bump when the BENCH_*.json envelope changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+#: Keys every BENCH_*.json must carry.
+REQUIRED_KEYS = ("bench", "schema_version", "structured")
+
+
+def validate_bench_payload(payload: dict) -> dict:
+    """Check a BENCH_*.json payload against the output schema.
+
+    Schema (version 1):
+
+    * ``bench`` — artefact name (non-empty string);
+    * ``schema_version`` — :data:`BENCH_SCHEMA_VERSION`;
+    * ``structured`` — bool; when true, ``columns`` (list of str) and
+      ``rows`` (list of rows, each matching ``columns`` in length and
+      containing only JSON scalars) are required;
+    * ``text`` — the rendered text artefact (always present);
+    * ``meta`` — optional dict of free-form scalars.
+
+    Returns the payload unchanged; raises ``ValueError`` on violations.
+    """
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            raise ValueError(f"bench payload missing required key {key!r}")
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        raise ValueError("bench payload 'bench' must be a non-empty string")
+    if payload["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"bench payload schema_version {payload['schema_version']!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("text"), str):
+        raise ValueError("bench payload 'text' must be a string")
+    meta = payload.get("meta", {})
+    if not isinstance(meta, dict):
+        raise ValueError("bench payload 'meta' must be a dict")
+    if payload["structured"]:
+        columns = payload.get("columns")
+        rows = payload.get("rows")
+        if not isinstance(columns, list) or not columns or not all(
+            isinstance(c, str) for c in columns
+        ):
+            raise ValueError("structured payload needs a non-empty str 'columns' list")
+        if not isinstance(rows, list):
+            raise ValueError("structured payload needs a 'rows' list")
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(columns):
+                raise ValueError(
+                    f"row {i} has {len(row) if isinstance(row, list) else 'no'} "
+                    f"cells, expected {len(columns)}"
+                )
+            for cell in row:
+                if not isinstance(cell, (str, int, float, bool, type(None))):
+                    raise ValueError(
+                        f"row {i} contains non-scalar cell {cell!r} "
+                        f"({type(cell).__name__})"
+                    )
+    return payload
 
 
 @pytest.fixture(scope="session")
@@ -24,11 +92,44 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture(scope="session")
 def save_result(results_dir):
-    """``save_result(name, text)`` writes one artefact under results/."""
+    """``save_result(name, text, *, columns=, rows=, meta=)``.
 
-    def _save(name: str, text: str) -> pathlib.Path:
+    Writes the text artefact under ``results/<name>.txt`` and a
+    schema-checked JSON twin under ``results/BENCH_<name>.json``.  Pass
+    ``columns``/``rows`` to make the JSON structured (preferred); the
+    row cells must be JSON scalars.
+    """
+
+    def _save(
+        name: str,
+        text: str,
+        *,
+        columns: list[str] | None = None,
+        rows: list[list] | None = None,
+        meta: dict | None = None,
+    ) -> pathlib.Path:
+        if (columns is None) != (rows is None):
+            raise ValueError("pass columns and rows together (or neither)")
+        normalized = text if text.endswith("\n") else text + "\n"
+        payload: dict = {
+            "bench": name,
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "structured": columns is not None,
+            "text": normalized,
+        }
+        if columns is not None:
+            payload["columns"] = list(columns)
+            payload["rows"] = [list(row) for row in rows]
+        if meta:
+            payload["meta"] = dict(meta)
+        # Validate before touching disk so a schema violation never
+        # leaves a text artefact without its JSON twin.
+        validate_bench_payload(payload)
         path = results_dir / f"{name}.txt"
-        path.write_text(text if text.endswith("\n") else text + "\n")
+        path.write_text(normalized)
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         return path
 
     return _save

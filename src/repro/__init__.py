@@ -16,7 +16,10 @@ cluster substrate:
   public-cloud cluster and functional collectives they all run on;
 * :mod:`repro.train` / :mod:`repro.perf` / :mod:`repro.experiments` —
   end-to-end training, the calibrated performance model, and one
-  harness per paper table/figure.
+  harness per paper table/figure;
+* :mod:`repro.elastic` — preemption-aware elastic training over the
+  same substrate: churn schedules, membership epochs, checkpoint
+  rollback, and spot-market cost accounting.
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from repro.compression import (
     mstopk_select,
 )
 from repro.data import CachedDataLoader, DataCache, SyntheticImageDataset
+from repro.elastic import ElasticTrainer, MembershipView, PoissonChurn
 from repro.models import resnet50_profile, transformer_profile, vgg19_profile
 from repro.optim import LAMB, LARS, SGD
 from repro.pto import ParallelTensorOperator, lars_learning_rates_pto
@@ -90,6 +94,10 @@ __all__ = [
     "DistributedTrainer",
     "ConvergenceRunner",
     "make_scheme",
+    # elastic
+    "ElasticTrainer",
+    "MembershipView",
+    "PoissonChurn",
     # models
     "resnet50_profile",
     "vgg19_profile",

@@ -9,12 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.links import (
-    ETHERNET_25G,
-    ETHERNET_32G,
-    LinkSpec,
-    NVLINK_V100,
-)
+from repro.cluster.links import LinkSpec, NVLINK_V100
 from repro.cluster.network import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.utils.units import GiB, gbps_to_bytes_per_sec

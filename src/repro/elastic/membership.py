@@ -1,0 +1,210 @@
+"""Live-membership view of an elastic cloud cluster.
+
+The static reproduction fixes ``m x n`` at construction time; an elastic
+job instead tracks *which* nodes are currently alive and re-derives the
+communication hierarchy from that set after every change (MiCS-style
+membership-aware scoping keeps collectives inside the live set).  This
+module owns that bookkeeping:
+
+* :class:`MembershipView` — ordered set of live original node ids,
+  bumped through a monotonically increasing *membership epoch*; each
+  epoch maps to a fresh :class:`~repro.cluster.topology.ClusterTopology`
+  and :class:`~repro.cluster.network.NetworkModel` (dense ranks 0..P-1,
+  node-major) built from the same cloud preset links;
+* :func:`fold_residuals` — carries error-feedback residual mass across a
+  membership change so sparsified training does not silently drop the
+  un-transmitted gradient mass a departed worker was holding.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.cloud_presets import CLOUD_INSTANCES, CloudInstance
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import ClusterTopology
+from repro.utils.partition import round_robin_shards
+from repro.utils.seeding import RandomState
+
+
+class MembershipView:
+    """Tracks the live node set of an elastic ``m x n`` cluster.
+
+    Node *ids* are stable original identifiers (0, 1, 2, ... in arrival
+    order); the dense node *indices* used by rank arithmetic are the
+    position of each live id in the sorted live list, so topologies stay
+    contiguous after any change.
+
+    Parameters
+    ----------
+    num_nodes:
+        Starting node count.
+    gpus_per_node:
+        GPUs per node — constant across membership changes (nodes leave
+        and join whole, as cloud instances do).
+    instance:
+        Cloud preset supplying link specs for the derived network model.
+    min_nodes:
+        Revocations below this size raise.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        gpus_per_node: int,
+        *,
+        instance: CloudInstance | str = "tencent",
+        min_nodes: int = 1,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {gpus_per_node}")
+        if not 1 <= min_nodes <= num_nodes:
+            raise ValueError(
+                f"min_nodes must be in [1, {num_nodes}], got {min_nodes}"
+            )
+        if isinstance(instance, str):
+            key = instance.lower()
+            if key not in CLOUD_INSTANCES:
+                raise KeyError(
+                    f"unknown cloud instance {instance!r}; "
+                    f"available: {sorted(CLOUD_INSTANCES)}"
+                )
+            instance = CLOUD_INSTANCES[key]
+        self.instance = instance
+        self.gpus_per_node = gpus_per_node
+        self.min_nodes = min_nodes
+        self._live: list[int] = list(range(num_nodes))
+        self._next_id = num_nodes
+        self.epoch = 0
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def live_nodes(self) -> tuple[int, ...]:
+        """Original ids of the live nodes, ascending."""
+        return tuple(self._live)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._live)
+
+    @property
+    def world_size(self) -> int:
+        return len(self._live) * self.gpus_per_node
+
+    def topology(self) -> ClusterTopology:
+        """Re-derive the node/GPU hierarchy for the current membership."""
+        return ClusterTopology(len(self._live), self.gpus_per_node)
+
+    def network(self) -> NetworkModel:
+        """Cost model over the live set, with the preset's link specs."""
+        return NetworkModel(
+            topology=self.topology(),
+            intra=self.instance.intra_link,
+            inter=self.instance.inter_link,
+        )
+
+    def node_index(self, node_id: int) -> int:
+        """Dense node index of a live original id."""
+        try:
+            return self._live.index(node_id)
+        except ValueError:
+            raise KeyError(f"node id {node_id} is not live") from None
+
+    # -- transitions ---------------------------------------------------------
+    def revoke(self, node_id: int | None = None, *, rng: RandomState | None = None) -> int:
+        """Remove one node; returns the revoked original id.
+
+        ``node_id=None`` picks a victim — uniformly with ``rng``, else
+        the highest id (the youngest node, as spot markets typically
+        reclaim the most recently granted capacity first).
+        """
+        if len(self._live) <= self.min_nodes:
+            raise ValueError(
+                f"cannot revoke below min_nodes={self.min_nodes} "
+                f"(live: {len(self._live)})"
+            )
+        if node_id is None:
+            node_id = (
+                int(rng.choice(self._live)) if rng is not None else self._live[-1]
+            )
+        if node_id not in self._live:
+            raise KeyError(f"node id {node_id} is not live")
+        self._live.remove(node_id)
+        self.epoch += 1
+        return node_id
+
+    def join(self) -> int:
+        """Add a fresh node; returns its new original id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._live.append(node_id)
+        self.epoch += 1
+        return node_id
+
+    def reshard(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Round-robin re-shard the dataset for the current world size."""
+        return round_robin_shards(np.asarray(x), np.asarray(y), self.world_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MembershipView(live={self._live}, n={self.gpus_per_node}, "
+            f"epoch={self.epoch})"
+        )
+
+
+def fold_residuals(
+    residuals: Mapping[object, np.ndarray],
+    old_topology: ClusterTopology,
+    new_topology: ClusterTopology,
+) -> dict[object, np.ndarray]:
+    """Carry rank-keyed error-feedback residuals across a world-size change.
+
+    Residual buffers are keyed by global rank in every built-in scheme.
+    Each old rank ``(node, local)`` folds onto new rank
+    ``(node % m', local)`` — survivors keep their own buffer and absorb
+    the buffers of departed nodes by addition, so the total residual
+    mass (the gradient information error feedback still owes the model)
+    is conserved exactly.  Shard-resident residuals (HiTopKComm's
+    ``d/n``-sized buffers) stay size-compatible because the shard split
+    depends only on ``gpus_per_node``, which membership changes never
+    touch; a changed GPU count per node is therefore rejected.
+
+    Non-integer keys (custom schemes) pass through unchanged when they
+    fit the new world, else raise.
+    """
+    if old_topology.gpus_per_node != new_topology.gpus_per_node:
+        raise ValueError(
+            "cannot fold residuals across a gpus_per_node change "
+            f"({old_topology.gpus_per_node} -> {new_topology.gpus_per_node}): "
+            "shard boundaries would no longer line up"
+        )
+    new_m = new_topology.num_nodes
+    folded: dict[object, np.ndarray] = {}
+    for key, buf in residuals.items():
+        if isinstance(key, (int, np.integer)) and 0 <= int(key) < old_topology.world_size:
+            rank = int(key)
+            node = old_topology.node_of(rank) % new_m
+            local = old_topology.local_rank_of(rank)
+            new_key: object = new_topology.rank(node, local)
+        else:
+            new_key = key
+        existing = folded.get(new_key)
+        if existing is None:
+            folded[new_key] = np.array(buf, copy=True)
+        else:
+            if existing.shape != buf.shape:
+                raise ValueError(
+                    f"residual shape mismatch while folding key {key!r}: "
+                    f"{buf.shape} vs {existing.shape}"
+                )
+            folded[new_key] = existing + buf
+    return folded
+
+
+__all__ = ["MembershipView", "fold_residuals"]

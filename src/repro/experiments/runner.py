@@ -12,6 +12,7 @@ import sys
 import time
 
 from repro.experiments import (
+    elastic_churn,
     fig1_breakdown,
     fig6_topk_ops,
     fig7_aggregation,
@@ -39,6 +40,7 @@ EXPERIMENTS = (
     ("Table 3", table3_throughput.main),
     ("Table 4", table4_resolutions.main),
     ("Table 5", table5_dawnbench.main),
+    ("Elastic churn", elastic_churn.main),
 )
 
 

@@ -10,6 +10,7 @@ measurement it is pinned to.
 """
 
 from repro.perf.calibration import CALIBRATION, Calibration
+from repro.perf.elastic_cost import ElasticCostReport, account
 from repro.perf.dawnbench import (
     DawnbenchResult,
     DawnbenchSimulator,
@@ -30,6 +31,8 @@ __all__ = [
     "derive_overlap_fraction",
     "Calibration",
     "CALIBRATION",
+    "ElasticCostReport",
+    "account",
     "IterationModel",
     "SchemeKind",
     "io_visible_time",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.cluster.gpu import V100, exact_topk_gpu_time, mstopk_gpu_time
+from repro.cluster.gpu import exact_topk_gpu_time, mstopk_gpu_time
 from repro.cluster.network import NetworkModel
 from repro.comm.breakdown import TimeBreakdown
 from repro.comm.dense import Torus2DAllReduce, TreeAllReduce

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.cluster.network import NetworkModel
 from repro.comm.base import CommScheme
 from repro.comm.dense import RingAllReduce, Torus2DAllReduce, TreeAllReduce
+from repro.comm.gtopk import GlobalTopK
 from repro.comm.hitopkcomm import HiTopKComm
 from repro.comm.naive_allgather import NaiveAllGather
 from repro.compression.exact_topk import ExactTopK
@@ -33,10 +34,10 @@ def make_scheme(
     """Build a :class:`CommScheme` by algorithm name.
 
     Accepted names: ``dense`` / ``dense-tree`` (TreeAR), ``dense-ring``,
-    ``2dtar``, ``topk`` (NaiveAG + exact top-k + EF), ``mstopk``
-    (HiTopKComm + MSTopK + EF), ``naiveag-mstopk`` (flat All-Gather with
-    the MSTopK operator — an ablation separating the operator from the
-    hierarchy).
+    ``2dtar``, ``topk`` (NaiveAG + exact top-k + EF), ``gtopk`` (global
+    top-k over a binomial merge tree + EF), ``mstopk`` (HiTopKComm +
+    MSTopK + EF), ``naiveag-mstopk`` (flat All-Gather with the MSTopK
+    operator — an ablation separating the operator from the hierarchy).
     """
     key = name.lower()
     if key in ("dense", "dense-tree", "tree", "trear"):
@@ -50,6 +51,12 @@ def make_scheme(
             network,
             density=density,
             compressor=ExactTopK(),
+            error_feedback=True,
+        )
+    if key in ("gtopk", "gtopk-sgd", "globaltopk"):
+        return GlobalTopK(
+            network,
+            density=density,
             error_feedback=True,
         )
     if key in ("mstopk", "mstopk-sgd", "hitopk", "hitopkcomm"):
@@ -68,7 +75,7 @@ def make_scheme(
         )
     raise KeyError(
         f"unknown training algorithm {name!r}; try one of "
-        "dense/dense-ring/2dtar/topk/mstopk/naiveag-mstopk"
+        "dense/dense-ring/2dtar/topk/gtopk/mstopk/naiveag-mstopk"
     )
 
 

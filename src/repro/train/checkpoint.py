@@ -3,9 +3,18 @@
 Long DAWNBench-style runs checkpoint every epoch (the per-epoch overhead
 in :mod:`repro.perf.calibration` accounts for it); this module provides
 the actual mechanism for the NumPy trainer: parameters, optimizer
-momentum, and the communication scheme's error-feedback residuals all
-round-trip through one ``.npz`` file, so a resumed sparsified run is
-bit-identical to an uninterrupted one (tested).
+momentum, the communication scheme's error-feedback residuals, *and* the
+trainer's RNG state all round-trip through one ``.npz`` file, so a
+resumed sparsified run is bit-identical to an uninterrupted one
+(tested) — including the data-shuffle and MSTopK sampling streams.
+
+Elastic restore: :func:`load_checkpoint` with ``strict_world=False``
+accepts a checkpoint taken at a *different* world size (the elastic
+trainer rescales after revocations).  Parameters, momentum, and RNG
+state restore normally — they are world-size independent — while the
+rank-keyed error-feedback residuals are returned raw in
+``meta["residuals"]`` for the caller to remap (see
+:func:`repro.elastic.membership.fold_residuals`).
 """
 
 from __future__ import annotations
@@ -18,11 +27,13 @@ import numpy as np
 from repro.optim.sgd import SGD
 from repro.train.trainer import DistributedTrainer
 
-_FORMAT_VERSION = 1
+#: Version 2 adds the trainer RNG state; version-1 checkpoints (no RNG)
+#: still load.
+_FORMAT_VERSION = 2
 
 
 def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pathlib.Path:
-    """Serialise trainer state (params + momentum + EF residuals)."""
+    """Serialise trainer state (params + momentum + EF residuals + RNG)."""
     path = pathlib.Path(path)
     arrays: dict[str, np.ndarray] = {}
     for name, value in trainer.params.items():
@@ -43,8 +54,12 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pa
     meta = {
         "version": _FORMAT_VERSION,
         "world_size": trainer.world_size,
+        "num_nodes": trainer.scheme.topology.num_nodes,
+        "gpus_per_node": trainer.scheme.topology.gpus_per_node,
         "scheme": trainer.scheme.name,
         "ef_keys": ef_keys,
+        # PCG64 state is a nest of (big) ints and strings — JSON-safe.
+        "rng_state": trainer._rng.bit_generator.state,
     }
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -54,20 +69,44 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pa
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> dict:
-    """Restore trainer state in place; returns the checkpoint metadata."""
+def load_checkpoint(
+    trainer: DistributedTrainer,
+    path: str | pathlib.Path,
+    *,
+    strict_world: bool = True,
+) -> dict:
+    """Restore trainer state in place; returns the checkpoint metadata.
+
+    With ``strict_world=True`` (default) a world-size mismatch raises.
+    With ``strict_world=False`` and a mismatched world size, the
+    world-size-independent state (params, momentum, RNG) restores
+    normally and the rank-keyed residuals are *not* loaded into the
+    scheme; they come back raw in ``meta["residuals"]`` (``{rank:
+    array}``) for the caller to fold onto the new topology.
+    """
     path = pathlib.Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path) as data:
         meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-        if meta["version"] != _FORMAT_VERSION:
+        if meta["version"] not in (1, _FORMAT_VERSION):
             raise ValueError(f"unsupported checkpoint version {meta['version']}")
-        if meta["world_size"] != trainer.world_size:
+        world_matches = meta["world_size"] == trainer.world_size
+        if strict_world and not world_matches:
             raise ValueError(
                 f"checkpoint was taken at world size {meta['world_size']}, "
                 f"trainer has {trainer.world_size}"
             )
+        # Restoring must reproduce the checkpointed state exactly:
+        # momentum/residual entries that post-date the checkpoint (e.g.
+        # rolling back a trainer that kept stepping) are cleared before
+        # the saved ones are loaded back in.
+        if isinstance(trainer.optimizer, SGD):
+            trainer.optimizer._velocity.clear()
+        ef = getattr(trainer.scheme, "ef", None)
+        if ef is not None and world_matches:
+            ef._residuals.clear()
+        orphan_residuals: dict[object, np.ndarray] = {}
         for key in data.files:
             if key.startswith("param/"):
                 name = key[len("param/"):]
@@ -85,13 +124,20 @@ def load_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> di
                 if isinstance(trainer.optimizer, SGD):
                     trainer.optimizer._velocity[name] = data[key].copy()
             elif key.startswith("residual/"):
-                ef = getattr(trainer.scheme, "ef", None)
+                raw_key = key[len("residual/"):]
+                # EF keys are worker ranks (ints) in the built-in
+                # schemes; fall back to the string form otherwise.
+                ef_key: object = int(raw_key) if raw_key.lstrip("-").isdigit() else raw_key
+                if not world_matches:
+                    orphan_residuals[ef_key] = data[key].copy()
+                    continue
                 if ef is not None:
-                    raw_key = key[len("residual/"):]
-                    # EF keys are worker ranks (ints) in the built-in
-                    # schemes; fall back to the string form otherwise.
-                    ef_key: object = int(raw_key) if raw_key.lstrip("-").isdigit() else raw_key
                     ef._residuals[ef_key] = data[key].copy()
+        if orphan_residuals:
+            meta["residuals"] = orphan_residuals
+    rng_state = meta.get("rng_state")
+    if rng_state is not None:
+        trainer._rng.bit_generator.state = rng_state
     return meta
 
 

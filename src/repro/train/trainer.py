@@ -18,7 +18,11 @@ import numpy as np
 
 from repro.comm.base import CommScheme
 from repro.optim.sgd import SGD
-from repro.utils.partition import flatten_tensors, unflatten_tensors
+from repro.utils.partition import (
+    flatten_tensors,
+    round_robin_shards,
+    unflatten_tensors,
+)
 from repro.utils.seeding import RandomState, new_rng
 
 
@@ -89,15 +93,7 @@ class DistributedTrainer:
         self, x: np.ndarray, y: np.ndarray
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Round-robin shard so every worker sees every class mix."""
-        shards = []
-        for rank in range(self.world_size):
-            sel = slice(rank, None, self.world_size)
-            shards.append((x[sel], y[sel]))
-        if any(len(sx) == 0 for sx, _ in shards):
-            raise ValueError(
-                f"dataset of {len(x)} samples too small for {self.world_size} workers"
-            )
-        return shards
+        return round_robin_shards(x, y, self.world_size)
 
     def train_step(
         self, batches: Sequence[tuple[np.ndarray, np.ndarray]]

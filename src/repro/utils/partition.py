@@ -99,6 +99,31 @@ def reassemble(chunks: Sequence[np.ndarray]) -> np.ndarray:
     return np.concatenate([np.asarray(c).ravel() for c in chunks])
 
 
+def round_robin_shards(
+    x: np.ndarray, y: np.ndarray, world_size: int
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Round-robin shard a labelled dataset across ``world_size`` workers.
+
+    Worker ``r`` takes samples ``r, r + P, r + 2P, ...`` so every shard
+    sees (almost) the same class mix.  This is the sharder the trainer
+    uses; the elastic membership layer re-invokes it whenever the live
+    worker set changes, so re-sharding after a revocation is one call.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    shards = []
+    for rank in range(world_size):
+        sel = slice(rank, None, world_size)
+        shards.append((x[sel], y[sel]))
+    if any(len(sx) == 0 for sx, _ in shards):
+        raise ValueError(
+            f"dataset of {len(x)} samples too small for {world_size} workers"
+        )
+    return shards
+
+
 def flatten_tensors(tensors: Sequence[np.ndarray]) -> tuple[np.ndarray, list[tuple[int, ...]]]:
     """Flatten a list of tensors into one vector plus their shapes.
 
@@ -135,6 +160,7 @@ __all__ = [
     "partition_indices",
     "partition_layers",
     "partition_layers_balanced",
+    "round_robin_shards",
     "reassemble",
     "flatten_tensors",
     "unflatten_tensors",

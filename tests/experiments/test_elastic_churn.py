@@ -1,0 +1,44 @@
+"""Elastic churn harness: the qualitative story must hold at small scale."""
+
+from repro.experiments import elastic_churn
+
+
+class TestElasticChurn:
+    def test_sweep_shapes_and_headline(self):
+        results = elastic_churn.run(
+            schemes=("dense", "mstopk"),
+            rates=(0.0, 0.02),
+            iterations=40,
+            num_samples=256,
+            checkpoint_every=10,
+            sigma=0.0,
+            seed=11,
+        )
+        assert set(results) == {
+            ("dense", 0.0),
+            ("dense", 0.02),
+            ("mstopk", 0.0),
+            ("mstopk", 0.02),
+        }
+        # Same churn schedule per rate across schemes.
+        dense_churn, _ = results[("dense", 0.02)]
+        hitopk_churn, _ = results[("mstopk", 0.02)]
+        assert dense_churn.revocations == hitopk_churn.revocations
+        assert dense_churn.world_sizes == hitopk_churn.world_sizes
+        # Headline: the hierarchical scheme keeps its goodput advantage
+        # with and without churn.
+        for rate in (0.0, 0.02):
+            dense_report, _ = results[("dense", rate)]
+            hitopk_report, _ = results[("mstopk", rate)]
+            assert hitopk_report.goodput > dense_report.goodput
+
+    def test_small_run_completes(self):
+        results = elastic_churn.run(
+            schemes=("dense",),
+            rates=(0.0,),
+            iterations=10,
+            num_samples=128,
+            checkpoint_every=5,
+            sigma=0.0,
+        )
+        assert results[("dense", 0.0)][0].useful_iterations == 10

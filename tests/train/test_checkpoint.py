@@ -45,7 +45,12 @@ class TestRoundTrip:
             np.testing.assert_array_equal(fresh.params[name], trainer.params[name])
 
     def test_resumed_run_is_bit_identical(self, tmp_path, rng):
-        """Train 6 steps straight vs 3 + checkpoint + restore + 3."""
+        """Train 6 steps straight vs 3 + checkpoint + restore + 3.
+
+        The checkpoint round-trips the trainer's RNG state, so the
+        resumed run replays the exact MSTopK sampling stream — no
+        manual RNG handoff needed.
+        """
         x, y = make_spiral_classification(512, num_classes=4, rng=rng)
 
         straight = make_trainer(seed=5)
@@ -59,10 +64,6 @@ class TestRoundTrip:
 
         resumed = make_trainer(seed=5)
         load_checkpoint(resumed, path)
-        # Note: the trainer's internal rng is *not* checkpointed; with a
-        # deterministic compressor path the remaining steps match when
-        # we hand the resumed trainer the same rng state.
-        resumed._rng = first._rng
         for step in range(3, 6):
             resumed.train_step(batches_for(x, y, step))
 
@@ -70,6 +71,35 @@ class TestRoundTrip:
             np.testing.assert_allclose(
                 resumed.params[name], straight.params[name], rtol=1e-12, atol=1e-14
             )
+
+    def test_rng_state_round_trips(self, tmp_path, rng):
+        x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+        trainer = make_trainer(seed=9)
+        trainer.train_step(batches_for(x, y, 0))
+        path = save_checkpoint(trainer, tmp_path / "rng")
+
+        fresh = make_trainer(seed=1234)  # different seed -> different stream
+        load_checkpoint(fresh, path)
+        assert fresh._rng.bit_generator.state == trainer._rng.bit_generator.state
+        np.testing.assert_array_equal(fresh._rng.random(8), trainer._rng.random(8))
+
+    def test_restored_trainer_reproduces_loss_trajectory(self, tmp_path, rng):
+        """Regression: a restored trainer's losses match the original's."""
+        x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+        trainer = make_trainer(seed=2)
+        for step in range(4):
+            trainer.train_step(batches_for(x, y, step))
+        path = save_checkpoint(trainer, tmp_path / "traj")
+
+        reference = [
+            trainer.train_step(batches_for(x, y, step))[0] for step in range(4, 10)
+        ]
+        restored = make_trainer(seed=2)
+        load_checkpoint(restored, path)
+        replayed = [
+            restored.train_step(batches_for(x, y, step))[0] for step in range(4, 10)
+        ]
+        np.testing.assert_allclose(replayed, reference, rtol=1e-12, atol=1e-14)
 
     def test_error_feedback_residuals_restored(self, tmp_path, rng):
         x, y = make_spiral_classification(512, num_classes=4, rng=rng)
@@ -95,6 +125,19 @@ class TestRoundTrip:
         load_checkpoint(fresh, path)
         assert fresh.optimizer.state_size() == trainer.optimizer.state_size()
 
+    def test_rollback_clears_post_checkpoint_momentum(self, tmp_path, rng):
+        """Restoring a step-0 checkpoint must discard accumulated momentum."""
+        x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+        trainer = make_trainer(seed=3)
+        path = save_checkpoint(trainer, tmp_path / "step0")  # velocity empty
+        for step in range(3):
+            trainer.train_step(batches_for(x, y, step))
+        assert trainer.optimizer.state_size() > 0
+        load_checkpoint(trainer, path)
+        assert trainer.optimizer.state_size() == 0
+        # EF residuals accumulated after the checkpoint are gone too.
+        assert len(trainer.scheme.ef) == 0
+
 
 class TestValidation:
     def test_world_size_mismatch_rejected(self, tmp_path, rng):
@@ -111,6 +154,29 @@ class TestValidation:
         )
         with pytest.raises(ValueError, match="world size"):
             load_checkpoint(other, path)
+
+    def test_lenient_world_mismatch_returns_orphan_residuals(self, tmp_path, rng):
+        x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+        trainer = make_trainer()
+        for step in range(2):
+            trainer.train_step(batches_for(x, y, step))
+        assert len(trainer.scheme.ef) > 0
+        path = save_checkpoint(trainer, tmp_path / "elastic")
+
+        net = make_cluster(2, "tencent", gpus_per_node=4)  # 8 workers
+        other = DistributedTrainer(
+            MLPClassifier(input_dim=2, hidden=(12,), num_classes=4),
+            make_scheme("mstopk", net, density=0.1),
+            seed=0,
+        )
+        meta = load_checkpoint(other, path, strict_world=False)
+        # World-size-independent state restored...
+        for name in trainer.params:
+            np.testing.assert_array_equal(other.params[name], trainer.params[name])
+        assert other._rng.bit_generator.state == trainer._rng.bit_generator.state
+        # ...while rank-keyed residuals come back raw for the caller to fold.
+        assert len(other.scheme.ef) == 0
+        assert set(meta["residuals"]) == set(trainer.scheme.ef.keys())
 
     def test_unknown_parameter_rejected(self, tmp_path, rng):
         x, y = make_spiral_classification(512, num_classes=4, rng=rng)
