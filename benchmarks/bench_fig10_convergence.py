@@ -1,24 +1,45 @@
-"""Fig. 10: convergence curves of Dense / TopK / MSTopK SGD."""
+"""Fig. 10: convergence curves of Dense / TopK / MSTopK SGD.
+
+Driven through the ``repro.api`` facade: one declarative RunConfig per
+(workload, algorithm) cell, identical seeds — bit-identical to the old
+hand-wired ConvergenceRunner path.
+"""
 
 import pytest
 
-from repro.train.convergence import ConvergenceRunner
+from repro.api import CONVERGENCE_ALGORITHMS, RunConfig, run
 from repro.utils.tables import format_table
+
+
+def _config(workload: str, algorithm: str, *, epochs: int, num_samples: int, seed: int):
+    return RunConfig.from_dict({
+        "name": f"fig10-{workload}-{algorithm}",
+        "seed": seed,
+        "cluster": {"instance": "tencent", "num_nodes": 4, "gpus_per_node": 2},
+        "comm": {"scheme": algorithm, "density": 0.05},
+        "train": {"model": workload, "epochs": epochs, "num_samples": num_samples,
+                  "local_batch": 16, "lr": 0.05},
+    })
 
 
 @pytest.fixture(scope="module")
 def curves(save_result):
-    """One moderate run, reused by the assertions and the artefact."""
-    runner = ConvergenceRunner(
-        num_nodes=4, gpus_per_node=2, epochs=12, num_samples=1024, seed=7
-    )
-    results = {w: runner.run(w) for w in ("mlp", "cnn")}
+    """One moderate run per cell, reused by the assertions and the artefact."""
+    results = {
+        workload: {
+            algorithm: run(
+                _config(workload, algorithm, epochs=12, num_samples=1024, seed=7)
+            )
+            for algorithm in CONVERGENCE_ALGORITHMS
+        }
+        for workload in ("mlp", "cnn")
+    }
     sections = []
-    for workload, result in results.items():
-        algorithms = list(result.reports)
-        epochs = len(result.reports[algorithms[0]].val_metrics)
+    for workload, reports in results.items():
+        algorithms = list(reports)
+        epochs = len(reports[algorithms[0]].training.val_metrics)
         rows = [
-            [e] + [round(result.reports[a].val_metrics[e], 4) for a in algorithms]
+            [e] + [round(reports[a].training.val_metrics[e], 4) for a in algorithms]
             for e in range(epochs)
         ]
         sections.append(
@@ -34,21 +55,21 @@ def curves(save_result):
 
 def test_bench_fig10_single_epoch(benchmark, curves):
     """Wall-clock of one distributed MLP epoch under MSTopK-SGD."""
-    runner = ConvergenceRunner(
-        num_nodes=2, gpus_per_node=2, epochs=1, num_samples=512, seed=3
-    )
-    result = benchmark(lambda: runner.run("mlp", algorithms=("mstopk",), epochs=1))
-    assert result.reports["mstopk"].iterations > 0
+    config = _config("mlp", "mstopk", epochs=1, num_samples=512, seed=3)
+    config = RunConfig.from_dict({**config.to_dict(), "cluster": {
+        "instance": "tencent", "num_nodes": 2, "gpus_per_node": 2}})
+    report = benchmark(lambda: run(config))
+    assert report.training.iterations > 0
 
 
 def test_bench_fig10_claims(benchmark, curves):
     """The paper's convergence claims hold in the saved curves."""
 
     def check():
-        for workload, result in curves.items():
-            dense = result.final("dense")
-            assert result.final("topk") <= dense + 0.05, workload
-            assert result.final("mstopk") <= dense + 0.05, workload
+        for workload, reports in curves.items():
+            dense = reports["dense"].summary["final_metric"]
+            assert reports["topk"].summary["final_metric"] <= dense + 0.05, workload
+            assert reports["mstopk"].summary["final_metric"] <= dense + 0.05, workload
         return True
 
     assert benchmark(check)

@@ -43,17 +43,16 @@ def test_bench_table2_sparse_trails_dense(benchmark, rows):
 
 def test_bench_table2_one_transformer_step(benchmark):
     """Wall-clock of a single distributed Transformer training step."""
-    from repro.cluster.cloud_presets import make_cluster
+    from repro.api import build_cluster, build_scheme
     from repro.models.nn.transformer import TinyTransformer, make_copy_task
-    from repro.train.algorithms import make_scheme
     from repro.train.trainer import DistributedTrainer
     from repro.utils.seeding import new_rng
 
     rng = new_rng(0)
     x, y = make_copy_task(rng, num_samples=64, vocab_size=16, seq_len=8)
     model = TinyTransformer(vocab_size=16, d_model=16, d_ff=32, max_len=8)
-    net = make_cluster(2, "tencent", gpus_per_node=2)
-    trainer = DistributedTrainer(model, make_scheme("mstopk", net, density=0.1), seed=0)
+    net = build_cluster("tencent", 2, gpus_per_node=2)
+    trainer = DistributedTrainer(model, build_scheme("mstopk", net, density=0.1), seed=0)
     batches = [(x[w * 8 : (w + 1) * 8], y[w * 8 : (w + 1) * 8]) for w in range(4)]
     loss, _ = benchmark(trainer.train_step, batches)
     assert loss > 0

@@ -1,27 +1,24 @@
-"""Extending CommLib: plug a custom selection operator into HiTopKComm.
+"""Extending CommLib: register a custom selection operator.
 
 The compressor interface (:class:`repro.compression.TopKCompressor`) is
 the extension point: anything that returns exactly ``k`` entries can
 ride the hierarchical pipeline, error feedback included.  This example
 implements a *threshold-EMA* selector — it reuses last round's threshold
 as the starting estimate (one fewer pass than MSTopK in steady state) —
-and compares convergence against the built-ins.
+registers it with ``@register_compressor``, and compares convergence
+against the built-ins by name through the ``run()`` facade: once
+registered, a compressor is one config key away from any scheme.
 
 Run:  python examples/custom_compressor.py
 """
 
 import numpy as np
 
-from repro.cluster import make_cluster
+from repro.api import RunConfig, register_compressor, run
 from repro.collectives.sparse import SparseVector
-from repro.comm import HiTopKComm
-from repro.compression import MSTopK, TopKCompressor
+from repro.compression import TopKCompressor
 from repro.compression.exact_topk import topk_argpartition
-from repro.models.nn.mlp import MLPClassifier
-from repro.optim import SGD
-from repro.train import DistributedTrainer
-from repro.train.synthetic import make_spiral_classification, train_val_split
-from repro.utils.seeding import RandomState, new_rng
+from repro.utils.seeding import RandomState
 
 
 class EmaThresholdTopK(TopKCompressor):
@@ -60,28 +57,29 @@ class EmaThresholdTopK(TopKCompressor):
         return sv
 
 
-def main() -> None:
-    net = make_cluster(2, "tencent", gpus_per_node=4)
-    rng = new_rng(0)
-    x, y = make_spiral_classification(1024, num_classes=4, rng=rng)
-    train_x, train_y, val_x, val_y = train_val_split(x, y)
+# One decorator makes the selector addressable from any RunConfig (and
+# visible to `python -m repro list compressors`).
+@register_compressor("ema-topk", aliases=("ema",))
+def _build_ema_topk(*, n_samplings: int = 30) -> TopKCompressor:
+    return EmaThresholdTopK()
 
+
+def main() -> None:
     print("training the same model with three selection operators inside "
           "HiTopKComm (density 5%):\n")
-    for compressor in (None, MSTopK(), EmaThresholdTopK()):
-        scheme = HiTopKComm(net, density=0.05, compressor=compressor)
-        model = MLPClassifier(input_dim=2, hidden=(48, 48), num_classes=4)
-        trainer = DistributedTrainer(
-            model, scheme, optimizer=SGD(lr=0.05, momentum=0.9), seed=7
-        )
-        report = trainer.train(
-            train_x, train_y, epochs=10, local_batch=16,
-            val_x=val_x, val_y=val_y,
-            evaluate=lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1),
-        )
-        name = scheme.compressor.name
-        print(f"  {name:<12s} final val accuracy: {report.final_val_metric:.4f} "
-              f"(virtual comm: {report.comm_seconds * 1000:.1f} ms)")
+    for compressor in ("exact-topk", "mstopk", "ema-topk"):
+        config = RunConfig.from_dict({
+            "name": f"custom-compressor-{compressor}",
+            "seed": 7,
+            "cluster": {"instance": "tencent", "num_nodes": 2, "gpus_per_node": 4},
+            "comm": {"scheme": "mstopk", "density": 0.05, "compressor": compressor},
+            "train": {"model": "mlp", "epochs": 10, "num_samples": 1024,
+                      "local_batch": 16, "lr": 0.05},
+        })
+        report = run(config)
+        print(f"  {compressor:<12s} final val accuracy: "
+              f"{report.summary['final_metric']:.4f} "
+              f"(virtual comm: {report.summary['comm_seconds'] * 1000:.1f} ms)")
 
     print("\nany exactly-k selector converges through the hierarchy + error "
           "feedback;\nthe operator choice trades selection cost for recall.")

@@ -1,66 +1,73 @@
-"""Quickstart: sparsified hierarchical gradient aggregation in 5 minutes.
+"""Quickstart: one config, one ``run()`` — the whole system in 5 minutes.
 
-Builds a virtual public-cloud cluster (paper Table 1's Tencent
-instances), selects gradients with MSTopK (Algorithm 1), aggregates them
-with HiTopKComm (Algorithm 2), and compares cost + fidelity against the
-dense 2D-torus all-reduce baseline.
+The public API is the :mod:`repro.api` facade: a declarative
+:class:`~repro.api.RunConfig` names a registered cluster preset (paper
+Table 1), a communication scheme (HiTopKComm, Algorithm 2, selecting
+gradients with MSTopK, Algorithm 1) and a model workload; ``run()``
+composes them and returns a structured report.  We train the same model
+under the dense baseline and the paper's sparse hierarchy and compare.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.cluster import make_cluster
-from repro.comm import HiTopKComm, Torus2DAllReduce
-from repro.compression import ExactTopK, MSTopK
-from repro.utils.seeding import new_rng
+from repro.api import RunConfig, available, run
 
 
 def main() -> None:
-    # A 4-node cluster of 8-GPU Tencent instances (25 GbE between nodes,
-    # NVLink inside) — the environment the paper targets.
-    net = make_cluster(4, "tencent", gpus_per_node=8)
-    print(f"cluster: {net}\n")
+    # Discovery: every component name comes from the registries —
+    # exactly what `python -m repro list` prints.
+    names = available()
+    print("registered components:")
+    for group, entries in sorted(names.items()):
+        print(f"  {group:<12s} {', '.join(entries)}")
 
-    rng = new_rng(0)
-    d = 100_000
+    # A declarative run: 4 Tencent 8xV100 instances (25 GbE between
+    # nodes, NVLink inside), MSTopK selection inside HiTopKComm at 5%
+    # density, an MLP workload.  The same dict could live in a JSON file
+    # and run via `python -m repro run --config cfg.json`.
+    base = {
+        "name": "quickstart",
+        "seed": 7,
+        "cluster": {"instance": "tencent", "num_nodes": 4, "gpus_per_node": 2},
+        "comm": {"scheme": "mstopk", "density": 0.05},
+        "train": {"model": "mlp", "epochs": 8, "num_samples": 1024},
+    }
+    sparse_cfg = RunConfig.from_dict(base)
+    dense_cfg = RunConfig.from_dict({**base, "comm": {"scheme": "dense"}})
 
-    # --- 1. The MSTopK operator (Algorithm 1) -------------------------------
-    x = rng.normal(size=d)
-    k = d // 1000  # the paper's k = 0.001 d
-    approx = MSTopK(n_samplings=30).select(x, k, rng=rng)
-    exact = ExactTopK().select(x, k)
-    recall = len(set(approx.indices) & set(exact.indices)) / k
-    print(f"MSTopK selected {approx.nnz} of {d} elements "
-          f"(recall vs exact top-k: {recall:.0%})\n")
+    print("\ntraining the same model under both aggregation schemes "
+          "(8 virtual workers):\n")
+    reports = {}
+    for cfg in (dense_cfg, sparse_cfg):
+        report = run(cfg)
+        reports[report.scheme] = report
+        print(f"  {report.scheme:<8s} final accuracy "
+              f"{report.summary['final_metric']:.4f}, virtual comm "
+              f"{report.summary['comm_seconds'] * 1000:8.2f} ms "
+              f"over {report.summary['iterations']} iterations")
 
-    # --- 2. Hierarchical aggregation (Algorithm 2) ---------------------------
-    worker_grads = [rng.normal(size=d) for _ in range(net.world_size)]
-    scheme = HiTopKComm(net, density=0.01)
-    result = scheme.aggregate(worker_grads, rng=rng)
-    print("HiTopKComm virtual-time breakdown (Eqs. 7-10):")
-    print(result.breakdown.format())
+    dense, sparse = reports["dense"], reports["mstopk"]
+    print("\nerror feedback kept the accuracy gap small "
+          f"({dense.summary['final_metric'] - sparse.summary['final_metric']:+.4f}).")
 
-    # --- 3. Against the dense baseline -------------------------------------------
-    dense = Torus2DAllReduce(net)
-    dense_result = dense.aggregate(worker_grads)
-    exact_sum = np.sum(worker_grads, axis=0)
-    cosine = float(
-        result.outputs[0] @ exact_sum
-        / (np.linalg.norm(result.outputs[0]) * np.linalg.norm(exact_sum))
-    )
-    print(f"\n2DTAR (dense) time:      {dense_result.time * 1000:8.3f} ms")
-    print(f"HiTopKComm (rho=1%) time: {result.time * 1000:8.3f} ms "
-          f"({dense_result.time / result.time:.1f}x faster)")
-    print(f"sparsified/dense gradient cosine similarity: {cosine:.3f}")
-    print("(error feedback re-injects the dropped mass on later iterations)")
+    # At real gradient sizes the communication gap is what the paper is
+    # about: rebuild both schemes from the registry and compare their
+    # analytic time models at ResNet-50 scale.
+    from repro.api import build_cluster, build_scheme
 
-    # --- 4. At real gradient sizes the gap is much larger -----------------------
+    net = build_cluster("tencent", 4, gpus_per_node=2)
     d_resnet = 25_000_000
-    t_dense = dense.time_model(d_resnet).total
-    t_sparse = scheme.time_model(d_resnet).total
-    print(f"\nat ResNet-50 scale (d = 25M): dense {t_dense * 1000:.1f} ms vs "
-          f"HiTopKComm {t_sparse * 1000:.1f} ms ({t_dense / t_sparse:.1f}x)")
+    t_dense = build_scheme("dense", net).time_model(d_resnet).total
+    t_sparse = build_scheme("mstopk", net, density=0.01).time_model(d_resnet).total
+    print(f"at ResNet-50 scale (d = 25M): dense TreeAR {t_dense * 1000:.1f} ms vs "
+          f"HiTopKComm (MSTopK inside, rho=1%) {t_sparse * 1000:.1f} ms "
+          f"({t_dense / t_sparse:.1f}x faster per iteration)")
+
+    # The report also serializes to the BENCH_*.json schema used by the
+    # benchmark suite — same payload `python -m repro run --json` prints.
+    payload = sparse.bench_payload()
+    print(f"\nmachine-readable payload: bench={payload['bench']!r}, "
+          f"columns={payload['columns']}")
 
 
 if __name__ == "__main__":

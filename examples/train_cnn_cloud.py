@@ -12,30 +12,37 @@ Two halves, mirroring the paper's evaluation:
 Run:  python examples/train_cnn_cloud.py
 """
 
+from repro.api import CONVERGENCE_ALGORITHMS, RunConfig, run
 from repro.cluster import paper_testbed
 from repro.models import resnet50_profile
 from repro.perf.iteration_model import IterationModel, SchemeKind
-from repro.train import ConvergenceRunner
 from repro.utils.tables import print_table
 
 
 def convergence_demo() -> None:
     print("=== real distributed training (8 virtual workers) ===\n")
-    runner = ConvergenceRunner(
-        num_nodes=4, gpus_per_node=2, epochs=10, num_samples=1024, seed=7
-    )
-    result = runner.run("cnn")
+    reports = {}
+    for algorithm in CONVERGENCE_ALGORITHMS:
+        config = RunConfig.from_dict({
+            "name": f"cnn-cloud-{algorithm}",
+            "seed": 7,
+            "cluster": {"instance": "tencent", "num_nodes": 4, "gpus_per_node": 2},
+            "comm": {"scheme": algorithm, "density": 0.05},
+            "train": {"model": "cnn", "epochs": 10, "num_samples": 1024,
+                      "local_batch": 16, "lr": 0.05},
+        })
+        reports[algorithm] = run(config)
     rows = [
         [epoch]
-        + [round(result.reports[a].val_metrics[epoch], 4) for a in result.reports]
+        + [round(reports[a].training.val_metrics[epoch], 4) for a in reports]
         for epoch in range(0, 10, 2)
     ]
     print_table(
-        ["Epoch"] + list(result.reports),
+        ["Epoch"] + list(reports),
         rows,
         title="validation accuracy per epoch (synthetic CNN task)",
     )
-    finals = {a: result.final(a) for a in result.reports}
+    finals = {a: reports[a].summary["final_metric"] for a in reports}
     print(f"final accuracies: {finals}")
     print("note: sparse variants track dense closely thanks to error feedback\n")
 

@@ -33,6 +33,17 @@ Quickstart::
     print(result.breakdown.format())
 """
 
+from repro.api import (
+    RunConfig,
+    RunReport,
+    available,
+    build_scheme,
+    register_cluster,
+    register_compressor,
+    register_model,
+    register_scheme,
+    run,
+)
 from repro.cluster import ClusterTopology, NetworkModel, make_cluster, paper_testbed
 from repro.comm import (
     HiTopKComm,
@@ -61,6 +72,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # api facade
+    "RunConfig",
+    "RunReport",
+    "run",
+    "available",
+    "build_scheme",
+    "register_scheme",
+    "register_compressor",
+    "register_model",
+    "register_cluster",
     # cluster
     "ClusterTopology",
     "NetworkModel",

@@ -1,8 +1,8 @@
-"""``python -m repro`` — run the full reproduction harness."""
+"""``python -m repro`` — the unified CLI (run / list / experiments)."""
 
 import sys
 
-from repro.experiments.runner import main
+from repro.api.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,153 @@
+"""``python -m repro`` — the command-line face of the facade.
+
+Subcommands::
+
+    repro run --config cfg.json [--set key=value ...] [--json] [--out PATH]
+    repro list [schemes|compressors|models|clusters|experiments]
+    repro experiments [--only SUBSTR] [--fast]
+
+``run`` executes one declarative :class:`~repro.api.config.RunConfig`;
+``list`` enumerates the registries (and the experiment harnesses);
+``experiments`` delegates to :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.api import registry
+from repro.api.config import RunConfig, apply_overrides
+from repro.api.facade import preflight
+from repro.api.facade import run as run_facade
+
+LIST_GROUPS = ("schemes", "compressors", "models", "clusters", "experiments")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of 'Towards Scalable Distributed Training of "
+        "Deep Learning on Public Cloud Clusters' — declarative run facade.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="execute one declarative run config")
+    run_p.add_argument("--config", required=True, help="path to a RunConfig JSON file")
+    run_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a config entry, e.g. --set comm.density=0.01 "
+        "(repeatable; dotted paths; JSON values)",
+    )
+    run_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH-schema JSON payload instead of the table",
+    )
+    run_p.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON payload here"
+    )
+
+    list_p = sub.add_parser("list", help="enumerate registered components")
+    list_p.add_argument(
+        "group", nargs="?", default=None, choices=LIST_GROUPS,
+        help="one group (default: all)",
+    )
+
+    exp_p = sub.add_parser("experiments", help="run the paper experiment harnesses")
+    exp_p.add_argument("--only", default=None, help="substring filter on experiment names")
+    exp_p.add_argument(
+        "--fast",
+        action="store_true",
+        help="trim the expensive sweeps (Fig. 6, Fig. 10, elastic churn)",
+    )
+    return parser
+
+
+def _registry_lines(reg: registry.Registry) -> list[str]:
+    lines = []
+    for name in reg.available():
+        aliases = reg.aliases_of(name)
+        suffix = f"  (aliases: {', '.join(aliases)})" if aliases else ""
+        lines.append(f"  {name}{suffix}")
+    return lines
+
+
+def _cmd_list(group: str | None) -> int:
+    registries = {
+        "schemes": registry.SCHEMES,
+        "compressors": registry.COMPRESSORS,
+        "models": registry.MODELS,
+        "clusters": registry.CLUSTERS,
+    }
+    groups = (group,) if group else LIST_GROUPS
+    for i, name in enumerate(groups):
+        if len(groups) > 1:
+            print(("" if i == 0 else "\n") + f"{name}:")
+        if name == "experiments":
+            from repro.experiments.runner import EXPERIMENTS
+
+            for exp_name, _ in EXPERIMENTS:
+                print(f"  {exp_name}")
+        else:
+            print("\n".join(_registry_lines(registries[name])))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Everything a user can get wrong fails here (clean exit 2 from
+    # main); errors past this point are real bugs and keep their
+    # traceback.
+    try:
+        config = RunConfig.from_file(args.config)
+        if args.overrides:
+            config = apply_overrides(config, args.overrides)
+        preflight(config)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_facade(config)
+    payload = report.bench_payload()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(payload["text"], end="")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"[payload written to {out}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args.group)
+    if args.command == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        runner_argv = []
+        if args.only:
+            runner_argv += ["--only", args.only]
+        if args.fast:
+            runner_argv += ["--fast"]
+        return runner_main(runner_argv)
+    return 0  # pragma: no cover - unreachable
+
+
+if __name__ == "__main__":
+    sys.exit(main())

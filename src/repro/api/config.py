@@ -1,0 +1,275 @@
+"""Declarative run configuration — one JSON file fully specifies a run.
+
+:class:`RunConfig` nests :class:`ClusterConfig` (where), :class:`CommConfig`
+(how gradients move), :class:`TrainConfig` (what trains) and an optional
+:class:`ElasticConfig` (churn).  It round-trips losslessly through
+``to_dict``/``from_dict`` and ``to_json``/``from_json``, rejects unknown
+keys with the list of accepted ones, and validates every component name
+against the :mod:`repro.api.registry` registries — a typo fails at load
+time, not an hour into a sweep.
+
+``apply_overrides`` implements the CLI's ``--set section.key=value``
+(values parsed as JSON, falling back to strings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field, fields
+from typing import Any, Sequence
+
+
+class ConfigError(ValueError):
+    """A malformed or unresolvable run configuration."""
+
+
+def _check_keys(section: str, data: dict, cls) -> None:
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in {section!r}; "
+            f"accepted keys: {', '.join(sorted(allowed))}"
+        )
+
+
+def _from_dict(section: str, data: Any, cls):
+    if not isinstance(data, dict):
+        raise ConfigError(f"{section!r} must be a mapping, got {type(data).__name__}")
+    _check_keys(section, data, cls)
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Virtual cluster shape: a registered instance preset and node count."""
+
+    instance: str = "tencent"
+    num_nodes: int = 2
+    gpus_per_node: int = 2
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Gradient aggregation: registered scheme (+ optional compressor)."""
+
+    scheme: str = "mstopk"
+    density: float = 0.05
+    wire_bytes: int = 4
+    n_samplings: int = 30
+    #: Optional registered compressor name overriding the scheme default.
+    compressor: str | None = None
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Workload and optimisation hyperparameters.
+
+    Deliberately explicit: unlike ``ConvergenceRunner`` (whose
+    ``_WORKLOAD_HP`` table nudges lr/density per workload), a config
+    applies exactly the values written in it.
+    """
+
+    model: str = "mlp"
+    epochs: int = 5
+    num_samples: int = 512
+    local_batch: int = 16
+    lr: float = 0.05
+    momentum: float = 0.9
+    #: Seed for dataset synthesis; defaults to the run seed, so one seed
+    #: fixes everything while sweeps can pin the data and vary the rest.
+    data_seed: int | None = None
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Churn schedule + recovery constants for an elastic run.
+
+    Present ⇒ the run uses :class:`~repro.elastic.ElasticTrainer`
+    (iteration-driven, so ``train.epochs`` is unused — ``iterations``
+    governs run length); absent ⇒ the synchronous epoch-driven trainer.
+    """
+
+    iterations: int = 120
+    schedule: str = "poisson"  # "poisson" | "none"
+    rate: float = 0.01
+    warned_fraction: float = 0.5
+    rejoin_delay: int = 20
+    min_nodes: int = 1
+    checkpoint_every: int = 25
+    compute_seconds: float = 0.05
+    checkpoint_seconds: float = 1.0
+    restart_seconds: float = 15.0
+    warning_seconds: float = 120.0
+    #: Gradient size for the analytic comm-time model (None = actual).
+    timing_d: int | None = None
+    #: Straggler lognormal sigma (0 disables the variability model).
+    sigma: float = 0.0
+
+
+#: Schedules ElasticConfig understands (kept next to the dataclass, not
+#: in the registry: they are modes of one subsystem, not plugins).
+ELASTIC_SCHEDULES = ("poisson", "none")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one run needs, serializable and seed-complete."""
+
+    name: str = "run"
+    seed: int = 0
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    comm: CommConfig = field(default_factory=CommConfig)
+    train: TrainConfig = field(default_factory=TrainConfig)
+    elastic: ElasticConfig | None = None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict, *, validate: bool = True) -> "RunConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(f"run config must be a mapping, got {type(data).__name__}")
+        _check_keys("run", data, cls)
+        kwargs: dict[str, Any] = {
+            k: data[k] for k in ("name", "seed") if k in data
+        }
+        if "cluster" in data:
+            kwargs["cluster"] = _from_dict("cluster", data["cluster"], ClusterConfig)
+        if "comm" in data:
+            kwargs["comm"] = _from_dict("comm", data["comm"], CommConfig)
+        if "train" in data:
+            kwargs["train"] = _from_dict("train", data["train"], TrainConfig)
+        if data.get("elastic") is not None:
+            kwargs["elastic"] = _from_dict("elastic", data["elastic"], ElasticConfig)
+        config = cls(**kwargs)
+        if validate:
+            config.validate()
+        return config
+
+    @classmethod
+    def from_json(cls, text: str, *, validate: bool = True) -> "RunConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON run config: {exc}") from exc
+        return cls.from_dict(data, validate=validate)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path, *, validate: bool = True) -> "RunConfig":
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise ConfigError(f"config file not found: {path}")
+        return cls.from_json(path.read_text(), validate=validate)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": dataclasses.asdict(self.cluster),
+            "comm": dataclasses.asdict(self.comm),
+            "train": dataclasses.asdict(self.train),
+        }
+        if self.elastic is not None:
+            data["elastic"] = dataclasses.asdict(self.elastic)
+        return data
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    # -- validation --------------------------------------------------------
+    def validate(self) -> "RunConfig":
+        """Check names against the registries and values for sanity."""
+        from repro.api import registry
+
+        if not self.name:
+            raise ConfigError("run 'name' must be a non-empty string")
+        if self.cluster.instance not in registry.CLUSTERS:
+            raise ConfigError(
+                f"unknown cluster instance {self.cluster.instance!r}; "
+                f"registered: {', '.join(registry.CLUSTERS.available())}"
+            )
+        if self.comm.scheme not in registry.SCHEMES:
+            raise ConfigError(
+                f"unknown comm scheme {self.comm.scheme!r}; "
+                f"registered: {', '.join(registry.SCHEMES.available())}"
+            )
+        if self.comm.compressor is not None and self.comm.compressor not in registry.COMPRESSORS:
+            raise ConfigError(
+                f"unknown compressor {self.comm.compressor!r}; "
+                f"registered: {', '.join(registry.COMPRESSORS.available())}"
+            )
+        if self.train.model not in registry.MODELS:
+            raise ConfigError(
+                f"unknown model {self.train.model!r}; "
+                f"registered: {', '.join(registry.MODELS.available())}"
+            )
+        if self.cluster.num_nodes < 1 or self.cluster.gpus_per_node < 1:
+            raise ConfigError("cluster num_nodes and gpus_per_node must be >= 1")
+        if not 0 < self.comm.density <= 1:
+            raise ConfigError(f"comm density must be in (0, 1], got {self.comm.density}")
+        if self.train.epochs < 1 or self.train.local_batch < 1 or self.train.num_samples < 1:
+            raise ConfigError("train epochs, local_batch and num_samples must be >= 1")
+        if self.elastic is not None:
+            if self.elastic.schedule not in ELASTIC_SCHEDULES:
+                raise ConfigError(
+                    f"unknown elastic schedule {self.elastic.schedule!r}; "
+                    f"accepted: {', '.join(ELASTIC_SCHEDULES)}"
+                )
+            if self.elastic.iterations < 1:
+                raise ConfigError("elastic iterations must be >= 1")
+            if self.elastic.rate < 0:
+                raise ConfigError("elastic rate must be >= 0")
+            if self.elastic.min_nodes < 1 or self.elastic.min_nodes > self.cluster.num_nodes:
+                raise ConfigError(
+                    "elastic min_nodes must be in [1, cluster.num_nodes]"
+                )
+        return self
+
+
+def _parse_override_value(raw: str) -> Any:
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw  # bare strings need no quoting: --set comm.scheme=dense
+
+
+def apply_overrides(config: RunConfig, overrides: Sequence[str]) -> RunConfig:
+    """Apply ``section.key=value`` overrides and re-validate.
+
+    ``--set elastic.rate=0.02`` on a non-elastic config materialises a
+    default :class:`ElasticConfig` first, so any run can be made elastic
+    from the command line.
+    """
+    data = config.to_dict()
+    for item in overrides:
+        if "=" not in item:
+            raise ConfigError(f"override {item!r} is not of the form key=value")
+        path, raw = item.split("=", 1)
+        keys = path.strip().split(".")
+        if not all(keys):
+            raise ConfigError(f"override {item!r} has an empty key path")
+        node: Any = data
+        for i, key in enumerate(keys[:-1]):
+            if key == "elastic" and node is data and data.get("elastic") is None:
+                data["elastic"] = {}
+            if not isinstance(node.get(key), dict):
+                raise ConfigError(
+                    f"override {item!r}: {'.'.join(keys[: i + 1])!r} is not a section"
+                )
+            node = node[key]
+        node[keys[-1]] = _parse_override_value(raw.strip())
+    return RunConfig.from_dict(data)
+
+
+__all__ = [
+    "ConfigError",
+    "ClusterConfig",
+    "CommConfig",
+    "TrainConfig",
+    "ElasticConfig",
+    "ELASTIC_SCHEDULES",
+    "RunConfig",
+    "apply_overrides",
+]

@@ -120,17 +120,19 @@ def make_cluster(
     num_nodes:
         Number of instances (nodes).
     instance:
-        A :class:`CloudInstance` or one of ``{"aws", "aliyun", "tencent"}``.
+        A :class:`CloudInstance`, or any name/alias registered in the
+        cluster registry (``repro.api.CLUSTERS``; the built-ins are
+        ``aws`` / ``aliyun`` / ``tencent``).
     gpus_per_node:
         Override the instance GPU count (e.g. for small test clusters).
     """
     if isinstance(instance, str):
-        key = instance.lower()
-        if key not in CLOUD_INSTANCES:
-            raise KeyError(
-                f"unknown cloud instance {instance!r}; available: {sorted(CLOUD_INSTANCES)}"
-            )
-        instance = CLOUD_INSTANCES[key]
+        # Resolve through the cluster registry (repro.api), so presets
+        # registered via @register_cluster work everywhere; imported
+        # lazily because the registry seeds itself from this module.
+        from repro.api.registry import get_cluster
+
+        instance = get_cluster(instance)
     topo = ClusterTopology(num_nodes, gpus_per_node or instance.gpus)
     return NetworkModel(
         topology=topo,

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.registry import build_scheme
 from repro.cluster.topology import ClusterTopology
 from repro.cluster.variability import (
     VariabilityModel,
@@ -48,7 +49,6 @@ from repro.comm.hitopkcomm import STEP_INTER_ALLGATHER, HiTopKComm
 from repro.elastic.events import JOIN, ChurnEvent
 from repro.elastic.membership import MembershipView, fold_residuals
 from repro.optim.sgd import SGD
-from repro.train.algorithms import make_scheme
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.trainer import DistributedTrainer, TrainableModel
 from repro.utils.seeding import derive_seed, new_rng
@@ -110,9 +110,11 @@ class ElasticTrainer:
     model:
         A :class:`~repro.train.trainer.TrainableModel`.
     scheme:
-        Algorithm name for :func:`repro.train.algorithms.make_scheme`
+        Scheme name for :func:`repro.api.build_scheme`
         (``dense``, ``gtopk``, ``mstopk``, ...), rebuilt on every
-        membership change.
+        membership change.  ``wire_bytes`` / ``n_samplings`` /
+        ``compressor`` (a registered compressor name) are forwarded to
+        the builder on every rebuild.
     instance / num_nodes / gpus_per_node / min_nodes:
         Starting cluster shape; GPUs per node is constant (instances
         leave and join whole).
@@ -142,6 +144,9 @@ class ElasticTrainer:
         *,
         scheme: str = "mstopk",
         density: float = 0.01,
+        wire_bytes: int = 4,
+        n_samplings: int = 30,
+        compressor: str | None = None,
         instance: str = "tencent",
         num_nodes: int = 4,
         gpus_per_node: int = 2,
@@ -164,6 +169,9 @@ class ElasticTrainer:
         self.model = model
         self.scheme_name = scheme
         self.density = density
+        self.wire_bytes = wire_bytes
+        self.n_samplings = n_samplings
+        self.compressor = compressor
         self.optimizer = optimizer if optimizer is not None else SGD(lr=0.05)
         self.seed = seed
         self.checkpoint_every = checkpoint_every
@@ -194,8 +202,15 @@ class ElasticTrainer:
 
     # -- construction helpers --------------------------------------------------
     def _fresh_trainer(self) -> DistributedTrainer:
-        scheme = make_scheme(
-            self.scheme_name, self.membership.network(), density=self.density
+        # Passing the compressor by *name* (not instance) keeps every
+        # rebuild's operator state fresh alongside its error feedback.
+        scheme = build_scheme(
+            self.scheme_name,
+            self.membership.network(),
+            density=self.density,
+            wire_bytes=self.wire_bytes,
+            n_samplings=self.n_samplings,
+            compressor=self.compressor,
         )
         return DistributedTrainer(
             self.model, scheme, optimizer=self.optimizer, seed=self.seed

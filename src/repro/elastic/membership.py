@@ -22,7 +22,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.cluster.cloud_presets import CLOUD_INSTANCES, CloudInstance
+from repro.cluster.cloud_presets import CloudInstance
 from repro.cluster.network import NetworkModel
 from repro.cluster.topology import ClusterTopology
 from repro.utils.partition import round_robin_shards
@@ -67,13 +67,12 @@ class MembershipView:
                 f"min_nodes must be in [1, {num_nodes}], got {min_nodes}"
             )
         if isinstance(instance, str):
-            key = instance.lower()
-            if key not in CLOUD_INSTANCES:
-                raise KeyError(
-                    f"unknown cloud instance {instance!r}; "
-                    f"available: {sorted(CLOUD_INSTANCES)}"
-                )
-            instance = CLOUD_INSTANCES[key]
+            # Resolve through the cluster registry (repro.api) so
+            # aliases and @register_cluster presets work here too;
+            # imported lazily to avoid an import cycle.
+            from repro.api.registry import get_cluster
+
+            instance = get_cluster(instance)
         self.instance = instance
         self.gpus_per_node = gpus_per_node
         self.min_nodes = min_nodes

@@ -17,16 +17,20 @@ rises.
 
 from __future__ import annotations
 
-from repro.cluster.variability import VariabilityModel
-from repro.elastic.elastic_trainer import ElasticRunReport, ElasticTrainer
-from repro.elastic.events import PoissonChurn
-from repro.models.nn.mlp import MLPClassifier
-from repro.perf.elastic_cost import ElasticCostReport, account
-from repro.train.synthetic import make_spiral_classification
-from repro.utils.seeding import derive_seed, new_rng
+from repro.api import (
+    ClusterConfig,
+    CommConfig,
+    ElasticConfig,
+    RunConfig,
+    TrainConfig,
+)
+from repro.api import run as run_config
+from repro.elastic.elastic_trainer import ElasticRunReport
+from repro.perf.elastic_cost import ElasticCostReport
+from repro.utils.seeding import derive_seed
 from repro.utils.tables import print_table
 
-#: Schemes compared (make_scheme names), paper-system last.
+#: Schemes compared (registry names), paper-system last.
 DEFAULT_SCHEMES = ("dense", "gtopk", "mstopk")
 #: Revocations per node per iteration; 0.01 on the default 3-node
 #: cluster averages ~3 revocations per 100 iterations.
@@ -66,43 +70,54 @@ def run(
     trains a small MLP; ``compute_seconds`` defaults to a
     ResNet-50-like ~0.3 s forward+backward so recovery overheads
     amortise at a realistic scale.
+
+    Every cell is one declarative :class:`~repro.api.RunConfig` driven
+    through :func:`repro.api.run`; ``data_seed`` is pinned across cells
+    so all runs see the same spiral dataset.
     """
-    x, y = make_spiral_classification(
-        num_samples, num_classes=4, rng=new_rng(derive_seed(seed, "data"))
-    )
-    variability = VariabilityModel(sigma=sigma) if sigma > 0 else None
+    data_seed = derive_seed(seed, "data")
     results: dict[tuple[str, float], tuple[ElasticRunReport, ElasticCostReport]] = {}
     for rate in rates:
-        schedule = (
-            PoissonChurn(rate, warned_fraction=0.5, rejoin_delay=rejoin_delay)
-            if rate > 0
-            else None
-        )
         for scheme in schemes:
-            trainer = ElasticTrainer(
-                MLPClassifier(input_dim=2, hidden=(12,), num_classes=4),
-                scheme=scheme,
-                density=density,
-                instance=instance,
-                num_nodes=num_nodes,
-                gpus_per_node=gpus_per_node,
-                checkpoint_every=checkpoint_every,
-                compute_seconds=compute_seconds,
-                checkpoint_seconds=checkpoint_seconds,
-                restart_seconds=restart_seconds,
-                timing_d=timing_d,
-                variability=variability,
+            config = RunConfig(
+                name=f"elastic-churn-{scheme}-{rate:g}",
                 seed=derive_seed(seed, "rate", repr(rate)),
+                cluster=ClusterConfig(
+                    instance=instance,
+                    num_nodes=num_nodes,
+                    gpus_per_node=gpus_per_node,
+                ),
+                comm=CommConfig(scheme=scheme, density=density),
+                train=TrainConfig(
+                    model="mlp-tiny",
+                    num_samples=num_samples,
+                    local_batch=local_batch,
+                    data_seed=data_seed,
+                ),
+                elastic=ElasticConfig(
+                    iterations=iterations,
+                    schedule="poisson" if rate > 0 else "none",
+                    rate=rate,
+                    warned_fraction=0.5,
+                    rejoin_delay=rejoin_delay,
+                    checkpoint_every=checkpoint_every,
+                    compute_seconds=compute_seconds,
+                    checkpoint_seconds=checkpoint_seconds,
+                    restart_seconds=restart_seconds,
+                    timing_d=timing_d,
+                    sigma=sigma,
+                ),
             )
-            report = trainer.run(
-                x, y, iterations=iterations, local_batch=local_batch, schedule=schedule
-            )
-            results[(scheme, rate)] = (report, account(report, instance=instance))
+            report = run_config(config)
+            results[(scheme, rate)] = (report.elastic_run, report.cost)
     return results
 
 
-def main() -> None:
-    results = run()
+def main(*, fast: bool = False) -> None:
+    if fast:
+        results = run(rates=(0.0, 0.02), iterations=40, num_samples=256)
+    else:
+        results = run()
     rates = sorted({rate for _, rate in results})
     schemes = list(dict.fromkeys(scheme for scheme, _ in results))
     for rate in rates:

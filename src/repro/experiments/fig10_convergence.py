@@ -31,8 +31,16 @@ def run(
     return {w: runner.run(w) for w in workloads}
 
 
-def main() -> None:
-    results = run()
+#: ``--fast`` trim: enough epochs for the curves to separate, small data.
+FAST_EPOCHS = 4
+FAST_SAMPLES = 512
+
+
+def main(*, fast: bool = False) -> None:
+    if fast:
+        results = run(epochs=FAST_EPOCHS, num_samples=FAST_SAMPLES)
+    else:
+        results = run()
     for workload, result in results.items():
         algorithms = list(result.reports)
         epochs = len(result.reports[algorithms[0]].val_metrics)

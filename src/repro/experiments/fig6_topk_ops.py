@@ -93,8 +93,13 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
+def main(*, fast: bool = False) -> None:
+    """Render the Fig. 6 table; ``fast`` skips the CPU wall-clock
+    measurement and trims the sweep to the two smallest sizes."""
+    if fast:
+        rows = run(sizes=SMALL_SIZES[:2], measure_cpu=False)
+    else:
+        rows = run()
     table = [
         [
             r.operator,

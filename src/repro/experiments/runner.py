@@ -1,8 +1,9 @@
 """Run every experiment harness in paper order.
 
-``python -m repro.experiments.runner`` regenerates all tables/figures;
-``--fast`` trims the expensive sweeps (Fig. 6 CPU measurement, long
-convergence runs).
+``python -m repro experiments`` (or ``python -m repro.experiments.runner``)
+regenerates all tables/figures; ``--fast`` trims the expensive sweeps
+(Fig. 6 CPU measurement, long convergence runs, the elastic churn sweep)
+and ``--only`` substring-filters by experiment name.
 """
 
 from __future__ import annotations
@@ -43,6 +44,10 @@ EXPERIMENTS = (
     ("Elastic churn", elastic_churn.main),
 )
 
+#: Harnesses whose ``main`` accepts ``fast=True`` to trim expensive
+#: sweeps; the rest already run in seconds.
+FAST_AWARE = ("Fig. 6", "Fig. 10", "Elastic churn")
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -51,6 +56,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="substring filter on experiment names (e.g. 'Fig. 7')",
     )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="trim the expensive sweeps (Fig. 6 CPU measurement, "
+        "long convergence runs, the elastic churn sweep)",
+    )
     args = parser.parse_args(argv)
 
     for name, entry in EXPERIMENTS:
@@ -58,7 +69,10 @@ def main(argv: list[str] | None = None) -> int:
             continue
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         start = time.perf_counter()
-        entry()
+        if args.fast and name in FAST_AWARE:
+            entry(fast=True)
+        else:
+            entry()
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
     return 0
 

@@ -9,7 +9,11 @@ experiment: the same model and data trained under Dense-SGD, TopK-SGD
 and MSTopK-SGD.
 """
 
-from repro.train.algorithms import TRAINING_ALGORITHMS, make_scheme
+# TRAINING_ALGORITHMS is aliased from the registry directly so that
+# `import repro` stays silent; accessing it via repro.train.algorithms
+# emits the DeprecationWarning.
+from repro.api.registry import CONVERGENCE_ALGORITHMS as TRAINING_ALGORITHMS
+from repro.train.algorithms import make_scheme
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.convergence import (
     ConvergenceResult,

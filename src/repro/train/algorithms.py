@@ -1,26 +1,33 @@
-"""Training-algorithm factory: the three SGD variants the paper compares.
+"""Training-algorithm factory — deprecated shim over :mod:`repro.api`.
 
-* **Dense-SGD** — exact dense aggregation (TreeAR in Fig. 1 / Table 3;
-  2DTAR-SGD is the stronger dense variant);
-* **TopK-SGD** — flat exact top-k + All-Gather with error feedback
-  (Lin et al. 2018 / Renggli et al. 2019);
-* **MSTopK-SGD** — the paper's system: hierarchical MSTopK (Algorithm 2)
-  with shard-level error feedback.
+The three SGD variants the paper compares (Dense-SGD, TopK-SGD,
+MSTopK-SGD) and every other scheme now live in the
+:data:`repro.api.registry.SCHEMES` registry; :func:`make_scheme` keeps
+old call-sites working (same names, same defaults, same objects) while
+steering new code to :func:`repro.api.build_scheme`.
 """
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api.registry import CONVERGENCE_ALGORITHMS, build_scheme
 from repro.cluster.network import NetworkModel
 from repro.comm.base import CommScheme
-from repro.comm.dense import RingAllReduce, Torus2DAllReduce, TreeAllReduce
-from repro.comm.gtopk import GlobalTopK
-from repro.comm.hitopkcomm import HiTopKComm
-from repro.comm.naive_allgather import NaiveAllGather
-from repro.compression.exact_topk import ExactTopK
-from repro.compression.mstopk import MSTopK
 
-#: Canonical algorithm names used by the convergence harness (Fig. 10).
-TRAINING_ALGORITHMS = ("dense", "topk", "mstopk")
+def __getattr__(name: str):
+    # Deprecated constant, served on access so importing this module
+    # stays silent: the canonical algorithm triple used by the
+    # convergence harness (Fig. 10) now lives in the registry module.
+    if name == "TRAINING_ALGORITHMS":
+        warnings.warn(
+            "repro.train.algorithms.TRAINING_ALGORITHMS is deprecated; "
+            "use repro.api.CONVERGENCE_ALGORITHMS instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return CONVERGENCE_ALGORITHMS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_scheme(
@@ -33,49 +40,22 @@ def make_scheme(
 ) -> CommScheme:
     """Build a :class:`CommScheme` by algorithm name.
 
-    Accepted names: ``dense`` / ``dense-tree`` (TreeAR), ``dense-ring``,
-    ``2dtar``, ``topk`` (NaiveAG + exact top-k + EF), ``gtopk`` (global
-    top-k over a binomial merge tree + EF), ``mstopk`` (HiTopKComm +
-    MSTopK + EF), ``naiveag-mstopk`` (flat All-Gather with the MSTopK
-    operator — an ablation separating the operator from the hierarchy).
+    .. deprecated::
+        Use :func:`repro.api.build_scheme` (same names and defaults,
+        plus registry discovery and custom-compressor support).
     """
-    key = name.lower()
-    if key in ("dense", "dense-tree", "tree", "trear"):
-        return TreeAllReduce(network, wire_bytes=wire_bytes)
-    if key in ("dense-ring", "ring"):
-        return RingAllReduce(network, wire_bytes=wire_bytes)
-    if key in ("2dtar", "torus", "dense-2dtar"):
-        return Torus2DAllReduce(network, wire_bytes=wire_bytes)
-    if key in ("topk", "topk-sgd", "naiveag"):
-        return NaiveAllGather(
-            network,
-            density=density,
-            compressor=ExactTopK(),
-            error_feedback=True,
-        )
-    if key in ("gtopk", "gtopk-sgd", "globaltopk"):
-        return GlobalTopK(
-            network,
-            density=density,
-            error_feedback=True,
-        )
-    if key in ("mstopk", "mstopk-sgd", "hitopk", "hitopkcomm"):
-        return HiTopKComm(
-            network,
-            density=density,
-            compressor=MSTopK(n_samplings=n_samplings),
-            error_feedback=True,
-        )
-    if key in ("naiveag-mstopk",):
-        return NaiveAllGather(
-            network,
-            density=density,
-            compressor=MSTopK(n_samplings=n_samplings),
-            error_feedback=True,
-        )
-    raise KeyError(
-        f"unknown training algorithm {name!r}; try one of "
-        "dense/dense-ring/2dtar/topk/gtopk/mstopk/naiveag-mstopk"
+    warnings.warn(
+        "repro.train.algorithms.make_scheme is deprecated; "
+        "use repro.api.build_scheme instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_scheme(
+        name,
+        network,
+        density=density,
+        wire_bytes=wire_bytes,
+        n_samplings=n_samplings,
     )
 
 

@@ -15,17 +15,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster.cloud_presets import make_cluster
-from repro.models.nn.convnet import SmallConvNet
-from repro.models.nn.mlp import MLPClassifier
-from repro.models.nn.transformer import TinyTransformer, make_copy_task
-from repro.optim.sgd import SGD
-from repro.train.algorithms import TRAINING_ALGORITHMS, make_scheme
-from repro.train.synthetic import (
-    make_spiral_classification,
-    make_synthetic_images,
-    train_val_split,
+from repro.api.registry import (
+    CONVERGENCE_ALGORITHMS,
+    build_scheme,
+    build_workload,
 )
+from repro.cluster.cloud_presets import make_cluster
+from repro.optim.sgd import SGD
+from repro.train.synthetic import train_val_split
 from repro.train.trainer import DistributedTrainer, TrainingReport
 from repro.utils.seeding import new_rng
 
@@ -57,10 +54,9 @@ class ConvergenceResult:
         return [(alg, self.final(alg)) for alg in self.reports]
 
 
-#: Workload registry: name -> (builder, metric label).  "resnet" is an
-#: extension workload (residual CNN) not part of the paper analogues.
+#: Paper-analogue workloads (Fig. 10 / Table 2); the MODELS registry
+#: holds these plus extension workloads like "resnet".
 _WORKLOADS = ("mlp", "cnn", "transformer")
-_EXTRA_WORKLOADS = ("resnet",)
 
 #: Per-workload hyperparameter overrides.  The attention model needs a
 #: hotter rate to move in 15 epochs and a higher density for the
@@ -113,50 +109,15 @@ class ConvergenceRunner:
         return make_cluster(self.num_nodes, "tencent", gpus_per_node=self.gpus_per_node)
 
     def _build(self, workload: str):
-        rng = new_rng(self.seed)
-        if workload == "mlp":
-            x, y = make_spiral_classification(self.num_samples, num_classes=4, rng=rng)
-            model = MLPClassifier(input_dim=2, hidden=(48, 48), num_classes=4)
-            metric = "top-1 accuracy"
-            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
-        elif workload == "cnn":
-            x, y = make_synthetic_images(
-                self.num_samples, num_classes=4, image_size=12, rng=rng
-            )
-            model = SmallConvNet(
-                in_channels=3, channels=(6, 12), num_classes=4, image_size=12
-            )
-            metric = "top-1 accuracy"
-            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
-        elif workload == "resnet":
-            # Extension workload: residual blocks change the gradient
-            # distribution the selectors see (flatter tails).
-            from repro.models.nn.resnet_tiny import TinyResNet
-
-            x, y = make_synthetic_images(
-                self.num_samples, num_classes=4, image_size=8, rng=rng
-            )
-            model = TinyResNet(width=6, num_classes=4, image_size=8)
-            metric = "top-1 accuracy"
-            evaluate = lambda p, vx, vy: model.evaluate(p, vx, vy, topk=1)  # noqa: E731
-        elif workload == "transformer":
-            x, y = make_copy_task(
-                rng, num_samples=self.num_samples, vocab_size=32, seq_len=10
-            )
-            model = TinyTransformer(vocab_size=32, d_model=24, d_ff=48, max_len=10)
-            metric = "token accuracy (BLEU proxy)"
-            evaluate = model.evaluate
-        else:
-            raise KeyError(
-                f"unknown workload {workload!r}; try one of "
-                f"{_WORKLOADS + _EXTRA_WORKLOADS}"
-            )
-        return model, x, y, metric, evaluate
+        built = build_workload(
+            workload, num_samples=self.num_samples, rng=new_rng(self.seed)
+        )
+        return built.model, built.x, built.y, built.metric_name, built.evaluate
 
     def run(
         self,
         workload: str,
-        algorithms: tuple[str, ...] = TRAINING_ALGORITHMS,
+        algorithms: tuple[str, ...] = CONVERGENCE_ALGORITHMS,
         *,
         epochs: int | None = None,
     ) -> ConvergenceResult:
@@ -171,7 +132,7 @@ class ConvergenceRunner:
 
         for algorithm in algorithms:
             network = self._network()
-            scheme = make_scheme(algorithm, network, density=density)
+            scheme = build_scheme(algorithm, network, density=density)
             trainer = DistributedTrainer(
                 model,
                 scheme,

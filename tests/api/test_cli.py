@@ -1,0 +1,138 @@
+"""The ``python -m repro`` CLI: run / list / experiments."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+SMOKE_CONFIG = REPO / "examples" / "configs" / "smoke.json"
+
+
+class TestList:
+    def test_list_schemes(self, capsys):
+        assert main(["list", "schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dense", "mstopk", "gtopk", "2dtar"):
+            assert name in out
+        assert "aliases:" in out  # discovery shows alias names too
+
+    def test_list_all_groups(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for header in ("schemes:", "compressors:", "models:", "clusters:",
+                       "experiments:"):
+            assert header in out
+        assert "Fig. 10" in out
+        assert "tencent" in out
+
+    def test_list_experiments_matches_runner(self, capsys):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert main(["list", "experiments"]) == 0
+        out = capsys.readouterr().out
+        for name, _ in EXPERIMENTS:
+            assert name in out
+
+
+class TestRun:
+    def test_run_smoke_config_table(self, capsys):
+        assert main(["run", "--config", str(SMOKE_CONFIG)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "final_loss" in out
+
+    def test_run_json_payload_passes_schema(self, capsys):
+        assert main(["run", "--config", str(SMOKE_CONFIG), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["structured"] is True
+        assert payload["meta"]["scheme"] == "mstopk"
+        assert len(payload["rows"]) == 1
+        assert len(payload["rows"][0]) == len(payload["columns"])
+
+    def test_run_set_overrides(self, capsys):
+        assert main([
+            "run", "--config", str(SMOKE_CONFIG), "--json",
+            "--set", "comm.scheme=dense", "--set", "name=cli-dense",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"] == "run_cli-dense"
+        assert payload["meta"]["scheme"] == "dense"
+
+    def test_run_out_writes_payload(self, tmp_path, capsys):
+        out_path = tmp_path / "sub" / "payload.json"
+        assert main(["run", "--config", str(SMOKE_CONFIG), "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+        assert "payload written" in capsys.readouterr().out
+
+    def test_run_unknown_scheme_fails_actionably(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"comm": {"scheme": "warp"}}')
+        assert main(["run", "--config", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "warp" in err and "mstopk" in err
+
+    def test_run_missing_config_fails(self, capsys):
+        assert main(["run", "--config", "/nonexistent/cfg.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_override_fails(self, capsys):
+        assert main([
+            "run", "--config", str(SMOKE_CONFIG), "--set", "comm.densty=0.1",
+        ]) == 2
+        assert "densty" in capsys.readouterr().err
+
+    def test_dense_plus_compressor_fails_cleanly(self, capsys):
+        """Build-time config mistakes exit 2 with a message, no traceback."""
+        assert main([
+            "run", "--config", str(SMOKE_CONFIG),
+            "--set", "comm.scheme=dense", "--set", "comm.compressor=mstopk",
+        ]) == 2
+        assert "does not accept a compressor" in capsys.readouterr().err
+
+
+class TestExperiments:
+    def test_experiments_only_filter(self, capsys):
+        assert main(["experiments", "--only", "Table 1"]) == 0
+        out = capsys.readouterr().out
+        assert "p3.16xlarge" in out
+
+    def test_experiments_fast_flag(self, capsys):
+        assert main(["experiments", "--only", "Fig. 6", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out
+
+
+class TestEntryPoint:
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "run" in capsys.readouterr().out
+
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "schemes"],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "mstopk" in proc.stdout
+
+    def test_python_dash_m_repro_run(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--config", str(SMOKE_CONFIG),
+             "--json"],
+            capture_output=True, text=True, timeout=180, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        payload = json.loads(proc.stdout)
+        assert payload["schema_version"] == 1

@@ -1,0 +1,164 @@
+"""RunConfig: lossless serialization, strict validation, overrides."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ClusterConfig,
+    CommConfig,
+    ConfigError,
+    ElasticConfig,
+    RunConfig,
+    TrainConfig,
+    apply_overrides,
+)
+
+FULL = {
+    "name": "full",
+    "seed": 42,
+    "cluster": {"instance": "aws", "num_nodes": 3, "gpus_per_node": 4},
+    "comm": {"scheme": "gtopk", "density": 0.01, "wire_bytes": 2,
+             "n_samplings": 20, "compressor": None},
+    "train": {"model": "cnn", "epochs": 3, "num_samples": 128,
+              "local_batch": 8, "lr": 0.1, "momentum": 0.8, "data_seed": 9},
+    "elastic": {"iterations": 50, "schedule": "poisson", "rate": 0.02,
+                "warned_fraction": 0.3, "rejoin_delay": 10, "min_nodes": 2,
+                "checkpoint_every": 10, "compute_seconds": 0.1,
+                "checkpoint_seconds": 0.2, "restart_seconds": 3.0,
+                "warning_seconds": 60.0, "timing_d": 1000000, "sigma": 0.05},
+}
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_lossless(self):
+        config = RunConfig.from_dict(FULL)
+        assert RunConfig.from_dict(config.to_dict()) == config
+        # And the dict itself carries every section verbatim.
+        assert config.to_dict()["elastic"]["timing_d"] == 1000000
+
+    def test_json_round_trip_lossless(self):
+        config = RunConfig.from_dict(FULL)
+        again = RunConfig.from_json(config.to_json())
+        assert again == config
+        assert json.loads(config.to_json()) == config.to_dict()
+
+    def test_defaults_round_trip_without_elastic(self):
+        config = RunConfig()
+        assert config.elastic is None
+        again = RunConfig.from_json(config.to_json())
+        assert again == config
+        assert "elastic" not in config.to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        config = RunConfig.from_dict(FULL)
+        path.write_text(config.to_json())
+        assert RunConfig.from_file(path) == config
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            RunConfig.from_file(tmp_path / "absent.json")
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            RunConfig.from_json("{nope")
+
+
+class TestUnknownKeys:
+    @pytest.mark.parametrize(
+        "data, needle",
+        [
+            ({"clustre": {}}, "clustre"),
+            ({"cluster": {"nodes": 4}}, "nodes"),
+            ({"comm": {"schema": "mstopk"}}, "schema"),
+            ({"train": {"epoch": 3}}, "epoch"),
+            ({"elastic": {"rates": 0.1}}, "rates"),
+        ],
+    )
+    def test_unknown_key_raises_with_accepted_list(self, data, needle):
+        with pytest.raises(ConfigError, match=needle) as err:
+            RunConfig.from_dict(data)
+        assert "accepted keys" in str(err.value)
+
+    def test_section_must_be_mapping(self):
+        with pytest.raises(ConfigError, match="must be a mapping"):
+            RunConfig.from_dict({"comm": "mstopk"})
+
+
+class TestNameValidation:
+    def test_unregistered_scheme(self):
+        with pytest.raises(ConfigError, match="unknown comm scheme 'warp'"):
+            RunConfig.from_dict({"comm": {"scheme": "warp"}})
+
+    def test_unregistered_model(self):
+        with pytest.raises(ConfigError, match="unknown model .*registered:"):
+            RunConfig.from_dict({"train": {"model": "bert-large"}})
+
+    def test_unregistered_cluster(self):
+        with pytest.raises(ConfigError, match="unknown cluster instance"):
+            RunConfig.from_dict({"cluster": {"instance": "azure"}})
+
+    def test_unregistered_compressor(self):
+        with pytest.raises(ConfigError, match="unknown compressor"):
+            RunConfig.from_dict({"comm": {"compressor": "zip"}})
+
+    def test_alias_names_validate(self):
+        config = RunConfig.from_dict({"comm": {"scheme": "hitopkcomm"}})
+        assert config.comm.scheme == "hitopkcomm"
+
+    def test_value_sanity(self):
+        with pytest.raises(ConfigError, match="density"):
+            RunConfig.from_dict({"comm": {"density": 2.0}})
+        with pytest.raises(ConfigError, match="min_nodes"):
+            RunConfig.from_dict(
+                {"cluster": {"num_nodes": 2}, "elastic": {"min_nodes": 5}}
+            )
+        with pytest.raises(ConfigError, match="unknown elastic schedule"):
+            RunConfig.from_dict({"elastic": {"schedule": "weibull"}})
+
+
+class TestOverrides:
+    def test_nested_and_top_level(self):
+        config = RunConfig.from_dict(FULL)
+        out = apply_overrides(
+            config, ["comm.density=0.5", "seed=7", "name=renamed"]
+        )
+        assert out.comm.density == 0.5
+        assert out.seed == 7
+        assert out.name == "renamed"
+        # Untouched sections survive verbatim.
+        assert out.train == config.train
+
+    def test_json_values_and_bare_strings(self):
+        out = apply_overrides(RunConfig(), ["comm.scheme=dense", "train.data_seed=null"])
+        assert out.comm.scheme == "dense"
+        assert out.train.data_seed is None
+
+    def test_elastic_materialised_on_demand(self):
+        base = RunConfig()
+        assert base.elastic is None
+        out = apply_overrides(base, ["elastic.rate=0.05"])
+        assert out.elastic is not None
+        assert out.elastic.rate == 0.05
+        # Other elastic fields get their defaults.
+        assert out.elastic.schedule == ElasticConfig().schedule
+
+    def test_bad_overrides(self):
+        with pytest.raises(ConfigError, match="key=value"):
+            apply_overrides(RunConfig(), ["comm.density"])
+        with pytest.raises(ConfigError, match="not a section"):
+            apply_overrides(RunConfig(), ["seed.depth=1"])
+        with pytest.raises(ConfigError, match="unknown key"):
+            apply_overrides(RunConfig(), ["comm.densty=0.1"])
+        with pytest.raises(ConfigError, match="unknown comm scheme"):
+            apply_overrides(RunConfig(), ["comm.scheme=warp"])
+
+
+class TestDataclassDefaults:
+    def test_nested_defaults(self):
+        config = RunConfig()
+        assert config.cluster == ClusterConfig()
+        assert config.comm == CommConfig()
+        assert config.train == TrainConfig()
+        assert config.validate() is config

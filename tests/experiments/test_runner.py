@@ -1,6 +1,8 @@
 """The run-everything entry point."""
 
-from repro.experiments.runner import EXPERIMENTS, main
+import inspect
+
+from repro.experiments.runner import EXPERIMENTS, FAST_AWARE, main
 
 
 class TestRunner:
@@ -21,3 +23,33 @@ class TestRunner:
     def test_only_filter_case_insensitive(self, capsys):
         assert main(["--only", "table 4"]) == 0
         assert "128-GPU" in capsys.readouterr().out
+
+
+class TestFastFlag:
+    def test_fast_aware_mains_accept_fast(self):
+        by_name = dict(EXPERIMENTS)
+        for name in FAST_AWARE:
+            assert name in by_name, name
+            params = inspect.signature(by_name[name]).parameters
+            assert "fast" in params, f"{name} main() lacks a fast kwarg"
+            assert params["fast"].default is False
+
+    def test_fast_fig6_skips_cpu_measurement(self, capsys):
+        assert main(["--only", "Fig. 6", "--fast"]) == 0
+        out = capsys.readouterr().out
+        # CPU column rendered as '-' when measurement is skipped.
+        assert "V100 projected" in out
+        assert "MSTopK" in out
+
+    def test_fast_fig10_trims_epochs(self, capsys):
+        from repro.experiments.fig10_convergence import FAST_EPOCHS
+
+        assert main(["--only", "Fig. 10", "--fast"]) == 0
+        out = capsys.readouterr().out
+        # The per-epoch table stops at the trimmed epoch count.
+        assert f"\n{FAST_EPOCHS - 1} " in out
+        assert f"\n{FAST_EPOCHS} " not in out
+
+    def test_fast_elastic_churn(self, capsys):
+        assert main(["--only", "Elastic churn", "--fast"]) == 0
+        assert "goodput" in capsys.readouterr().out
