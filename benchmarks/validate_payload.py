@@ -1,0 +1,37 @@
+"""Validate a ``BENCH_*.json`` payload against the output schema.
+
+Thin CLI over ``benchmarks/conftest.py::validate_bench_payload`` (the
+single source of truth) so CI jobs share one checked-in validator
+instead of duplicating inline heredocs::
+
+    python benchmarks/validate_payload.py results/BENCH_perf_hotpath_run.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+# conftest imports repro; make the src layout importable without an
+# installed package or PYTHONPATH.
+sys.path.insert(0, str(_HERE.parent / "src"))
+from conftest import validate_bench_payload  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: validate_payload.py <BENCH_*.json> [...]", file=sys.stderr)
+        return 2
+    for arg in argv:
+        path = pathlib.Path(arg)
+        payload = validate_bench_payload(json.loads(path.read_text()))
+        detail = payload.get("meta", payload.get("columns"))
+        print(f"ok: {path} ({payload['bench']}) {detail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,20 +15,29 @@ the result *and* the communication schedule.
 
 from repro.collectives.all_gather import all_gather, all_gather_concat, ring_all_gather
 from repro.collectives.all_reduce import (
+    matrix_ring_allreduce,
+    matrix_torus_allreduce_2d,
+    matrix_tree_allreduce,
     ring_allreduce,
     torus_allreduce_2d,
     tree_allreduce,
 )
 from repro.collectives.primitives import (
     broadcast,
+    broadcast_views,
     gather,
     reduce_sum,
     scatter,
     validate_group,
 )
-from repro.collectives.reduce_scatter import reference_reduce_scatter, ring_reduce_scatter
+from repro.collectives.reduce_scatter import (
+    matrix_reduce_scatter,
+    reference_reduce_scatter,
+    ring_reduce_scatter,
+)
 from repro.collectives.sparse import (
     SparseVector,
+    batched_scatter_add,
     coalesce,
     sparse_allgather_reduce,
     sparsify_dense,
@@ -36,11 +45,13 @@ from repro.collectives.sparse import (
 
 __all__ = [
     "broadcast",
+    "broadcast_views",
     "reduce_sum",
     "gather",
     "scatter",
     "validate_group",
     "ring_reduce_scatter",
+    "matrix_reduce_scatter",
     "reference_reduce_scatter",
     "all_gather",
     "all_gather_concat",
@@ -48,8 +59,12 @@ __all__ = [
     "ring_allreduce",
     "tree_allreduce",
     "torus_allreduce_2d",
+    "matrix_ring_allreduce",
+    "matrix_tree_allreduce",
+    "matrix_torus_allreduce_2d",
     "SparseVector",
     "coalesce",
+    "batched_scatter_add",
     "sparse_allgather_reduce",
     "sparsify_dense",
 ]

@@ -23,8 +23,9 @@ import numpy as np
 
 from repro.collectives.all_gather import ring_all_gather
 from repro.collectives.primitives import validate_group
-from repro.collectives.reduce_scatter import ring_reduce_scatter
+from repro.collectives.reduce_scatter import matrix_reduce_scatter, ring_reduce_scatter
 from repro.cluster.topology import ClusterTopology
+from repro.utils.partition import chunk_bounds
 
 
 def ring_allreduce(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -48,6 +49,83 @@ def ring_all_gather_unequal(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
         return ring_all_gather(shards)
     full = np.concatenate([np.asarray(s) for s in shards])
     return [full.copy() for _ in range(len(shards))]
+
+
+def matrix_ring_allreduce(mat: np.ndarray) -> np.ndarray:
+    """Vectorised flat ring all-reduce over a ``(p, d)`` matrix.
+
+    Returns the single ``(d,)`` aggregate every rank ends up with —
+    bit-identical to ``ring_allreduce(list(mat))[r]`` for any ``r``
+    (the closing all-gather only moves bytes; the reduced values are
+    fixed by the reduce-scatter fold, which
+    :func:`~repro.collectives.reduce_scatter.matrix_reduce_scatter`
+    reproduces exactly).
+    """
+    return matrix_reduce_scatter(mat)
+
+
+def matrix_tree_allreduce(mat: np.ndarray) -> np.ndarray:
+    """Vectorised binomial-tree all-reduce over a ``(p, d)`` matrix.
+
+    Row pairs at stride 1, 2, 4, ... are added with one fancy-indexed
+    matrix operation per stride instead of a Python loop over ranks; the
+    pairwise additions are the same IEEE operations in the same order as
+    :func:`tree_allreduce`, so the aggregate is bit-identical.
+    """
+    mat = np.asarray(mat)
+    if mat.ndim != 2:
+        raise ValueError(f"matrix_tree_allreduce: need a (p, d) matrix, got {mat.shape}")
+    p = mat.shape[0]
+    if p == 0:
+        raise ValueError("matrix_tree_allreduce: empty worker group")
+    buf = mat.copy()
+    stride = 1
+    while stride < p:
+        dst = np.arange(0, p, 2 * stride)
+        src = dst + stride
+        valid = src < p
+        if valid.any():
+            buf[dst[valid]] += buf[src[valid]]
+        stride *= 2
+    return buf[0]
+
+
+def matrix_torus_allreduce_2d(mat: np.ndarray, topology: ClusterTopology) -> np.ndarray:
+    """Vectorised 2D-Torus all-reduce over a node-major ``(P, d)`` matrix.
+
+    Phase 1 runs the rotated-fold reduce-scatter on each node's
+    contiguous row block, phase 2 runs a vectorised inter-node ring
+    all-reduce per segment column block, and phase 3 (the intra-node
+    all-gather) is the identity on the assembled vector.  Bit-identical
+    to :func:`torus_allreduce_2d`.
+    """
+    mat = np.asarray(mat)
+    if mat.ndim != 2:
+        raise ValueError(
+            f"matrix_torus_allreduce_2d: need a (P, d) matrix, got {mat.shape}"
+        )
+    if mat.shape[0] != topology.world_size:
+        raise ValueError(
+            f"matrix_torus_allreduce_2d: got {mat.shape[0]} rows for "
+            f"world size {topology.world_size}"
+        )
+    m, n = topology.num_nodes, topology.gpus_per_node
+    d = mat.shape[1]
+
+    # Phase 1: per-node reduce-scatter (ranks are node-major, so each
+    # node is a contiguous row block).
+    node_acc = np.empty((m, d), dtype=mat.dtype)
+    for node in range(m):
+        node_acc[node] = matrix_reduce_scatter(mat[node * n : (node + 1) * n])
+
+    # Phase 2: per-segment inter-node ring all-reduce (n column blocks).
+    full = np.empty(d, dtype=mat.dtype)
+    for start, end in chunk_bounds(d, n):
+        full[start:end] = matrix_ring_allreduce(node_acc[:, start:end])
+
+    # Phase 3: the intra-node all-gather reassembles segments 0..n-1 in
+    # order — exactly the layout ``full`` already has.
+    return full
 
 
 def tree_allreduce(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -126,4 +204,7 @@ __all__ = [
     "ring_all_gather_unequal",
     "tree_allreduce",
     "torus_allreduce_2d",
+    "matrix_ring_allreduce",
+    "matrix_tree_allreduce",
+    "matrix_torus_allreduce_2d",
 ]

@@ -46,6 +46,24 @@ def broadcast(tensor: np.ndarray, world_size: int) -> list[np.ndarray]:
     return [arr.copy() for _ in range(world_size)]
 
 
+def broadcast_views(tensor: np.ndarray, world_size: int) -> list[np.ndarray]:
+    """Zero-copy broadcast: every worker gets a *view* of one aggregate.
+
+    The hot-path replacement for ``W`` dense ``full.copy()`` outputs per
+    aggregation round: all correct schemes produce identical per-rank
+    results anyway, so the replicated outputs share one buffer.  The
+    views are marked read-only — an in-place edit (which would silently
+    corrupt every rank's output) raises instead of corrupting.
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    arr = np.asarray(tensor)
+    views = [arr.view() for _ in range(world_size)]
+    for view in views:
+        view.flags.writeable = False
+    return views
+
+
 def reduce_sum(tensors: Sequence[np.ndarray]) -> np.ndarray:
     """Sum the per-worker tensors into one array (the 'reduce to root')."""
     arrays = validate_group(tensors, name="reduce_sum")
@@ -70,4 +88,11 @@ def scatter(tensor: np.ndarray, world_size: int) -> list[np.ndarray]:
     return [arr[start:end].copy() for start, end in chunk_bounds(arr.size, world_size)]
 
 
-__all__ = ["validate_group", "broadcast", "reduce_sum", "gather", "scatter"]
+__all__ = [
+    "validate_group",
+    "broadcast",
+    "broadcast_views",
+    "reduce_sum",
+    "gather",
+    "scatter",
+]

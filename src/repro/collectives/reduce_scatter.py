@@ -10,12 +10,13 @@ chunk to its successor, which matches the cost form of paper Eq. (7):
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from repro.collectives.primitives import validate_group
-from repro.utils.partition import chunk_bounds
+from repro.utils.partition import chunk_bounds, chunk_sizes
 
 
 def ring_reduce_scatter(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -56,6 +57,51 @@ def ring_reduce_scatter(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
     return [chunks[w][w] for w in range(p)]
 
 
+def matrix_reduce_scatter(mat: np.ndarray) -> np.ndarray:
+    """Vectorised ring reduce-scatter over a ``(p, d)`` gradient matrix.
+
+    Returns the flat ``(d,)`` vector whose chunk ``w`` (NCCL bounds) is
+    the reduced chunk owned by worker ``w`` — i.e. the rank-order
+    concatenation of :func:`ring_reduce_scatter`'s outputs, bit for bit.
+
+    The ring schedule accumulates chunk ``c`` in the fixed order
+    ``x[c+1] + x[c+2] + ... + x[c]`` (indices mod ``p``); because IEEE
+    addition is commutative (though not associative), that left fold is
+    reproduced exactly by ``p - 1`` whole-width accumulations of the
+    row-rotated matrix — no Python loop over chunks, no per-chunk
+    temporaries.
+    """
+    mat = np.asarray(mat)
+    if mat.ndim != 2:
+        raise ValueError(f"matrix_reduce_scatter: need a (p, d) matrix, got {mat.shape}")
+    p, d = mat.shape
+    if p == 0:
+        raise ValueError("matrix_reduce_scatter: empty worker group")
+    if p == 1:
+        return mat[0].copy()
+    if p == 2:
+        # Both chunks fold as one commutative pairwise add.
+        return mat[0] + mat[1]
+    row, col = _fold_indices(p, d)
+    acc = mat[(row + 1) % p, col]
+    for t in range(2, p + 1):
+        acc += mat[(row + t) % p, col]
+    return acc
+
+
+@lru_cache(maxsize=8)
+def _fold_indices(p: int, d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached base gather indices for the rotated fold (hot-path reuse).
+
+    Only the chunk-ownership row vector and the column arange are kept
+    (2 * d int64 per layout); the per-step rotations are small temps.
+    """
+    sizes = chunk_sizes(d, p)
+    row = np.repeat(np.arange(p), sizes)  # owning chunk of each position
+    col = np.arange(d)
+    return row, col
+
+
 def reference_reduce_scatter(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
     """Direct (non-ring) reference: sum then shard.  Used by tests."""
     arrays = validate_group(tensors, name="reference_reduce_scatter")
@@ -66,4 +112,4 @@ def reference_reduce_scatter(tensors: Sequence[np.ndarray]) -> list[np.ndarray]:
     return [total[start:end].copy() for start, end in bounds]
 
 
-__all__ = ["ring_reduce_scatter", "reference_reduce_scatter"]
+__all__ = ["ring_reduce_scatter", "matrix_reduce_scatter", "reference_reduce_scatter"]

@@ -103,6 +103,45 @@ def concat_sparse(vectors: Sequence[SparseVector]) -> SparseVector:
     return SparseVector(values, indices, length)
 
 
+def batched_scatter_add(
+    vectors: Sequence[SparseVector],
+    length: int,
+    *,
+    dtype=None,
+    offsets: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Accumulate many sparse contributions into one dense buffer.
+
+    One ``np.add.at`` over the concatenated (values, indices) pairs
+    replaces a Python loop of per-vector scatter-adds.  ``np.add.at``
+    applies additions in index-array order, and concatenation preserves
+    per-vector order, so the per-coordinate accumulation order — and
+    therefore every floating-point bit — matches the sequential loop.
+
+    ``offsets`` optionally re-bases vector ``i``'s shard-local indices
+    by ``offsets[i]`` (Algorithm 2 step 3: per-stream shard selections
+    land in the full gradient's coordinate space).
+    """
+    if not vectors:
+        raise ValueError("batched_scatter_add: empty contribution list")
+    if offsets is not None and len(offsets) != len(vectors):
+        raise ValueError(
+            f"batched_scatter_add: {len(vectors)} vectors but {len(offsets)} offsets"
+        )
+    dense = np.zeros(length, dtype=vectors[0].values.dtype if dtype is None else dtype)
+    if offsets is None:
+        indices = np.concatenate([v.indices for v in vectors])
+    else:
+        indices = np.concatenate(
+            [v.indices + off for v, off in zip(vectors, offsets)]
+        )
+    values = np.concatenate([v.values for v in vectors])
+    if indices.size and (indices.min() < 0 or indices.max() >= length):
+        raise ValueError("batched_scatter_add: indices out of range")
+    np.add.at(dense, indices, values)
+    return dense
+
+
 def sparse_allgather_reduce(vectors: Sequence[SparseVector]) -> list[np.ndarray]:
     """The NaiveAG aggregation: all-gather (values, indices), then each
     worker scatter-adds every contribution into a dense buffer.
@@ -129,5 +168,6 @@ __all__ = [
     "sparsify_dense",
     "coalesce",
     "concat_sparse",
+    "batched_scatter_add",
     "sparse_allgather_reduce",
 ]

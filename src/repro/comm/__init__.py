@@ -20,6 +20,7 @@ from repro.comm.breakdown import TimeBreakdown
 from repro.comm.dense import RingAllReduce, Torus2DAllReduce, TreeAllReduce
 from repro.comm.gtopk import GlobalTopK
 from repro.comm.hitopkcomm import HiTopKComm
+from repro.comm.legacy import legacy_aggregate
 from repro.comm.naive_allgather import NaiveAllGather
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "NaiveAllGather",
     "HiTopKComm",
     "GlobalTopK",
+    "legacy_aggregate",
 ]

@@ -9,6 +9,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cluster.network import NetworkModel
+from repro.collectives.primitives import broadcast_views
 from repro.comm.breakdown import TimeBreakdown
 from repro.utils.seeding import RandomState
 
@@ -22,6 +23,8 @@ class AggregationResult:
     outputs:
         Per-rank aggregated gradient (all equal for correct schemes; for
         sparse schemes this is the sparsified global sum densified).
+        Since the vectorised hot path these are zero-copy *views* of one
+        shared aggregate — treat them as read-only.
     breakdown:
         Virtual-time breakdown of the aggregation steps.
     inter_bytes:
@@ -36,6 +39,11 @@ class AggregationResult:
     inter_bytes: float = 0.0
     intra_bytes: float = 0.0
     extras: dict = field(default_factory=dict)
+
+    @property
+    def aggregate(self) -> np.ndarray:
+        """The single shared aggregate all ranks receive."""
+        return self.outputs[0]
 
     @property
     def time(self) -> float:
@@ -67,11 +75,35 @@ class CommScheme(abc.ABC):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        """Aggregate per-rank gradients; returns data + timing."""
+        """Aggregate per-rank gradients; returns data + timing.
+
+        ``worker_grads`` is either a rank-indexed sequence of 1-D
+        arrays (the historical interface) or a ``(world_size, d)``
+        matrix whose rows are the per-rank fused gradients — the
+        hot-path form the trainer feeds from its preallocated fusion
+        buffer.  Implementations never mutate the input.
+        """
 
     @abc.abstractmethod
     def time_model(self, d: int) -> TimeBreakdown:
         """Analytic virtual-time breakdown for a ``d``-element gradient."""
+
+    def _worker_matrix(self, worker_grads) -> np.ndarray:
+        """Normalise the aggregate input to a validated ``(W, d)`` matrix.
+
+        A 2-D array passes through as a zero-copy view (the trainer's
+        preallocated fusion buffer); a sequence of 1-D per-rank arrays —
+        the historical interface — is validated and stacked.
+        """
+        if isinstance(worker_grads, np.ndarray) and worker_grads.ndim == 2:
+            expected = self.topology.world_size
+            if worker_grads.shape[0] != expected:
+                raise ValueError(
+                    f"{self.name}: got {worker_grads.shape[0]} gradient rows for "
+                    f"world size {expected}"
+                )
+            return worker_grads
+        return np.stack(self._check_world(worker_grads))
 
     def _check_world(self, worker_grads: Sequence[np.ndarray]) -> list[np.ndarray]:
         expected = self.topology.world_size
@@ -95,4 +127,4 @@ class CommScheme(abc.ABC):
         return f"{type(self).__name__}(network={self.network!r})"
 
 
-__all__ = ["AggregationResult", "CommScheme"]
+__all__ = ["AggregationResult", "CommScheme", "broadcast_views"]

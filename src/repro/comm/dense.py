@@ -14,11 +14,11 @@ import numpy as np
 
 from repro.cluster.network import NetworkModel
 from repro.collectives.all_reduce import (
-    ring_allreduce,
-    torus_allreduce_2d,
-    tree_allreduce,
+    matrix_ring_allreduce,
+    matrix_torus_allreduce_2d,
+    matrix_tree_allreduce,
 )
-from repro.comm.base import AggregationResult, CommScheme
+from repro.comm.base import AggregationResult, CommScheme, broadcast_views
 from repro.comm.breakdown import TimeBreakdown
 from repro.utils.seeding import RandomState
 
@@ -43,11 +43,11 @@ class RingAllReduce(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
-        outputs = ring_allreduce(arrays)
-        d = arrays[0].size
+        mat = self._worker_matrix(worker_grads)
+        full = matrix_ring_allreduce(mat)
+        d = mat.shape[1]
         return AggregationResult(
-            outputs=outputs,
+            outputs=broadcast_views(full, self.topology.world_size),
             breakdown=self.time_model(d),
             inter_bytes=2.0 * d * self.wire_bytes,
             intra_bytes=2.0 * d * self.wire_bytes,
@@ -92,11 +92,11 @@ class TreeAllReduce(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
-        outputs = tree_allreduce(arrays)
-        d = arrays[0].size
+        mat = self._worker_matrix(worker_grads)
+        full = matrix_tree_allreduce(mat)
+        d = mat.shape[1]
         return AggregationResult(
-            outputs=outputs,
+            outputs=broadcast_views(full, self.topology.world_size),
             breakdown=self.time_model(d),
             inter_bytes=self.traffic_factor * d * self.wire_bytes,
             intra_bytes=2.0 * d * self.wire_bytes,
@@ -144,12 +144,12 @@ class Torus2DAllReduce(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
-        outputs = torus_allreduce_2d(arrays, self.topology)
-        d = arrays[0].size
+        mat = self._worker_matrix(worker_grads)
+        full = matrix_torus_allreduce_2d(mat, self.topology)
+        d = mat.shape[1]
         breakdown = self.time_model(d)
         return AggregationResult(
-            outputs=outputs,
+            outputs=broadcast_views(full, self.topology.world_size),
             breakdown=breakdown,
             inter_bytes=2.0 * d * self.wire_bytes,
             intra_bytes=2.0 * d * self.wire_bytes,

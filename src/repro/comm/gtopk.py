@@ -30,7 +30,7 @@ import numpy as np
 from repro.cluster.gpu import V100, GpuSpec, mstopk_gpu_time
 from repro.cluster.network import NetworkModel
 from repro.collectives.sparse import SparseVector, coalesce
-from repro.comm.base import AggregationResult, CommScheme
+from repro.comm.base import AggregationResult, CommScheme, broadcast_views
 from repro.comm.breakdown import TimeBreakdown
 from repro.compression.base import TopKCompressor, density_to_k
 from repro.compression.error_feedback import ErrorFeedback
@@ -95,23 +95,23 @@ class GlobalTopK(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
-        d = arrays[0].size
+        mat = self._worker_matrix(worker_grads)
+        p, d = mat.shape
         k = density_to_k(d, self.density)
 
-        # Local selection with error feedback.
-        selections: list[SparseVector] = []
-        for rank, grad in enumerate(arrays):
-            corrected = self.ef.apply(rank, grad) if self.ef is not None else grad
-            sent = self.compressor.select(corrected, k, rng=rng)
-            if self.ef is not None:
-                self.ef.update(rank, corrected, sent)
-            selections.append(sent)
+        # Batched local selection with error feedback.
+        ranks = range(p)
+        corrected = self.ef.apply_batch(ranks, mat) if self.ef is not None else mat
+        selections: list[SparseVector] = self.compressor.select_batch(
+            corrected, k, rng=rng
+        )
+        if self.ef is not None:
+            self.ef.update_batch(ranks, corrected, selections)
 
         # Binomial merge tree: stride doubling, top-k re-selection at
-        # each merge (mirrors the reduce phase of tree_allreduce).
+        # each merge (mirrors the reduce phase of tree_allreduce).  Each
+        # merge touches only 2k pairs, so this stays per-pair code.
         current: list[SparseVector | None] = list(selections)
-        p = len(current)
         stride = 1
         while stride < p:
             for dst in range(0, p, 2 * stride):
@@ -123,7 +123,7 @@ class GlobalTopK(CommScheme):
         final = current[0]
         assert final is not None
         dense = final.to_dense()
-        outputs = [dense.copy() for _ in range(p)]
+        outputs = broadcast_views(dense, p)
 
         pair_bytes = k * (self.value_bytes + self.index_bytes)
         rounds = math.ceil(math.log2(max(2, p)))

@@ -32,8 +32,9 @@ import numpy as np
 
 from repro.cluster.gpu import V100, GpuSpec, mstopk_gpu_time
 from repro.cluster.network import NetworkModel
-from repro.collectives.reduce_scatter import ring_reduce_scatter
-from repro.comm.base import AggregationResult, CommScheme
+from repro.collectives.reduce_scatter import matrix_reduce_scatter
+from repro.collectives.sparse import batched_scatter_add
+from repro.comm.base import AggregationResult, CommScheme, broadcast_views
 from repro.comm.breakdown import TimeBreakdown
 from repro.compression.base import TopKCompressor, density_to_k
 from repro.compression.error_feedback import ErrorFeedback
@@ -98,46 +99,61 @@ class HiTopKComm(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
+        mat = self._worker_matrix(worker_grads)
         topo = self.topology
         m, n = topo.num_nodes, topo.gpus_per_node
-        d = arrays[0].size
+        d = mat.shape[1]
         bounds = chunk_bounds(d, n)
 
-        # Step 1: intra-node ring reduce-scatter (per node, in parallel).
-        shards: dict[int, np.ndarray] = {}
+        # Step 1: intra-node ring reduce-scatter — one vectorised
+        # rotated-fold per node (ranks are node-major, so each node is a
+        # contiguous row block of the gradient matrix).
+        node_acc = np.empty((m, d), dtype=mat.dtype)
         for node in range(m):
-            group = [arrays[r] for r in topo.node_ranks(node)]
-            for local, shard in enumerate(ring_reduce_scatter(group)):
-                shards[topo.rank(node, local)] = shard
+            node_acc[node] = matrix_reduce_scatter(mat[node * n : (node + 1) * n])
 
-        # Step 2: per-shard top-k selection, with shard-resident error
-        # feedback.  k̃ = ρ * shard_size (paper: ρ d / n).
-        selections: dict[int, object] = {}
-        for rank_, shard in shards.items():
-            corrected = self.ef.apply(rank_, shard) if self.ef is not None else shard
-            k_tilde = density_to_k(corrected.size, self.density)
-            sent = self.compressor.select(corrected, k_tilde, rng=rng)
-            if self.ef is not None:
-                self.ef.update(rank_, corrected, sent)
-            selections[rank_] = sent
+        # Step 2: per-shard top-k selection with shard-resident error
+        # feedback, batched: the EF-corrected shards for all m*n GPUs go
+        # through ONE multi-shard selection pass (for MSTopK: one count
+        # pass per binary-search iteration over every shard at once).
+        # k̃ = ρ * shard_size (paper: ρ d / n).  Shard order is rank
+        # order, matching the sequential path's rng stream exactly.
+        shard_ranks: list[int] = []
+        shard_views: list[np.ndarray] = []
+        ks: list[int] = []
+        for node in range(m):
+            for local in range(n):
+                start, end = bounds[local]
+                shard_ranks.append(topo.rank(node, local))
+                shard_views.append(node_acc[node, start:end])
+                ks.append(density_to_k(end - start, self.density))
+        if self.ef is not None:
+            corrected = [
+                self.ef.apply(rank_, shard)
+                for rank_, shard in zip(shard_ranks, shard_views)
+            ]
+        else:
+            corrected = shard_views
+        sel_list = self.compressor.select_batch(corrected, ks, rng=rng)
+        if self.ef is not None:
+            for rank_, corr, sent in zip(shard_ranks, corrected, sel_list):
+                self.ef.update(rank_, corr, sent)
+        selections: dict[int, object] = dict(zip(shard_ranks, sel_list))
 
-        # Step 3: inter-node all-gather per stream + scatter-add.  Every
-        # GPU of stream j computes the same accumulated shard.
-        stream_accumulators: list[np.ndarray] = []
+        # Steps 3 + 4: inter-node all-gather per stream, then intra-node
+        # reassembly.  Each shard's selection is re-based into the full
+        # coordinate space and everything lands in ONE fused scatter-add
+        # (identical accumulation order: stream-major, node order within
+        # a stream — exactly the per-stream loops it replaces).
+        stream_order: list[object] = []
+        offsets: list[int] = []
         for local in range(n):
-            start, end = bounds[local]
-            acc = np.zeros(end - start, dtype=arrays[0].dtype)
+            start = bounds[local][0]
             for node in range(m):
-                sent = selections[topo.rank(node, local)]
-                np.add.at(acc, sent.indices, sent.values)
-            stream_accumulators.append(acc)
-
-        # Step 4: intra-node all-gather reassembles the full vector.  All
-        # streams hold identical accumulators across nodes, so the global
-        # result is one vector replicated everywhere.
-        full = np.concatenate(stream_accumulators)
-        outputs = [full.copy() for _ in range(topo.world_size)]
+                stream_order.append(selections[topo.rank(node, local)])
+                offsets.append(start)
+        full = batched_scatter_add(stream_order, d, dtype=mat.dtype, offsets=offsets)
+        outputs = broadcast_views(full, topo.world_size)
 
         breakdown = self.time_model(d)
         k_tilde = density_to_k(bounds[0][1] - bounds[0][0], self.density)

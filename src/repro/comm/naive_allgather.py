@@ -12,15 +12,14 @@ collectives achieve poor goodput on VPC Ethernet.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np
 
 from repro.cluster.network import NetworkModel
 from repro.cluster.gpu import V100, GpuSpec, exact_topk_gpu_time, mstopk_gpu_time
-from repro.collectives.sparse import sparse_allgather_reduce
-from repro.comm.base import AggregationResult, CommScheme
+from repro.collectives.sparse import batched_scatter_add
+from repro.comm.base import AggregationResult, CommScheme, broadcast_views
 from repro.comm.breakdown import TimeBreakdown
 from repro.compression.base import TopKCompressor, density_to_k
 from repro.compression.exact_topk import ExactTopK
@@ -83,23 +82,24 @@ class NaiveAllGather(CommScheme):
     def aggregate(
         self, worker_grads: Sequence[np.ndarray], *, rng: RandomState | None = None
     ) -> AggregationResult:
-        arrays = self._check_world(worker_grads)
-        d = arrays[0].size
+        mat = self._worker_matrix(worker_grads)
+        p, d = mat.shape
         k = density_to_k(d, self.density)
 
-        selections = []
-        for rank, grad in enumerate(arrays):
-            corrected = self.ef.apply(rank, grad) if self.ef is not None else grad
-            sent = self.compressor.select(corrected, k, rng=rng)
-            if self.ef is not None:
-                self.ef.update(rank, corrected, sent)
-            selections.append(sent)
+        # Batched local selection with error feedback: one corrected
+        # matrix, one multi-shard top-k pass, one residual update.
+        ranks = range(p)
+        corrected = self.ef.apply_batch(ranks, mat) if self.ef is not None else mat
+        selections = self.compressor.select_batch(corrected, k, rng=rng)
+        if self.ef is not None:
+            self.ef.update_batch(ranks, corrected, selections)
 
-        outputs = sparse_allgather_reduce(selections)
+        # All-Gather + one fused scatter-add of every worker's pairs.
+        dense = batched_scatter_add(selections, d, dtype=mat.dtype)
         breakdown = self.time_model(d)
         pair_bytes = k * (self.value_bytes + self.index_bytes)
         return AggregationResult(
-            outputs=outputs,
+            outputs=broadcast_views(dense, p),
             breakdown=breakdown,
             inter_bytes=(self.topology.world_size - 1) * pair_bytes,
             intra_bytes=(self.topology.world_size - 1) * pair_bytes,

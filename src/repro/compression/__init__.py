@@ -22,7 +22,13 @@ from repro.compression.base import TopKCompressor, density_to_k
 from repro.compression.dgc import DGCTopK
 from repro.compression.error_feedback import ErrorFeedback
 from repro.compression.exact_topk import ExactTopK, naive_topk_sort, topk_argpartition
-from repro.compression.mstopk import MSTopK, mstopk_select, mstopk_threshold_search
+from repro.compression.mstopk import (
+    MSTopK,
+    mstopk_select,
+    mstopk_select_batch,
+    mstopk_threshold_search,
+    mstopk_threshold_search_batch,
+)
 from repro.compression.quantize import FP16Quantizer, QSGDQuantizer, Quantizer
 from repro.compression.randomk import RandomK
 from repro.compression.theory import (
@@ -41,7 +47,9 @@ __all__ = [
     "DGCTopK",
     "MSTopK",
     "mstopk_select",
+    "mstopk_select_batch",
     "mstopk_threshold_search",
+    "mstopk_threshold_search_batch",
     "RandomK",
     "Quantizer",
     "FP16Quantizer",

@@ -20,9 +20,31 @@ Two deployment points exist in this reproduction:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.collectives.sparse import SparseVector
+
+
+def _subtract_sent(
+    residual: np.ndarray, corrected: np.ndarray, sent: SparseVector
+) -> None:
+    """Zero the transmitted coordinates of ``residual`` in place.
+
+    Entries where the transmitted value differs from the local one
+    (e.g. scaled random-k) keep the difference.  For unique selection
+    indices (every top-k operator), ``sent.to_dense()[indices]`` is
+    exactly ``sent.values``, so the O(d) densify collapses to an O(k)
+    fancy update with bit-identical results; duplicate indices take the
+    original densify path.
+    """
+    indices = sent.indices
+    if indices.size and np.unique(indices).size != indices.size:
+        residual[indices] = 0.0
+        residual[indices] += corrected[indices] - sent.to_dense()[indices]
+        return
+    residual[indices] = corrected[indices] - sent.values
 
 
 class ErrorFeedback:
@@ -59,6 +81,62 @@ class ErrorFeedback:
             )
         return grad + residual
 
+    def apply_batch(self, keys, mat: np.ndarray) -> np.ndarray:
+        """Batched :meth:`apply`: ``mat`` is ``(n, d)`` with row ``i``
+        keyed by ``keys[i]``.  Returns a fresh corrected matrix; rows
+        without a residual are plain copies, matching the scalar path
+        bit for bit (``grad + residual`` is the identical IEEE add).
+        """
+        mat = np.asarray(mat)
+        keys = list(keys)
+        if mat.ndim != 2 or mat.shape[0] != len(keys):
+            raise ValueError(
+                f"apply_batch needs a ({len(keys)}, d) matrix, got shape {mat.shape}"
+            )
+        corrected = mat.copy()
+        for row, key in enumerate(keys):
+            residual = self._residuals.get(key)
+            if residual is None:
+                continue
+            if residual.shape != mat.shape[1:]:
+                raise ValueError(
+                    f"residual shape {residual.shape} does not match gradient "
+                    f"shape {mat.shape[1:]} for key {key!r}"
+                )
+            corrected[row] += residual
+        return corrected
+
+    def update_batch(
+        self, keys, corrected: np.ndarray, sents: Sequence[SparseVector]
+    ) -> None:
+        """Batched :meth:`update` over the rows of ``corrected``.
+
+        One fused matrix copy replaces the per-key ``corrected.copy()``
+        calls; the per-row transmitted-coordinate zeroing follows the
+        exact operation sequence of the scalar update, so the stored
+        residuals are bit-identical.  Keys are inserted in row order
+        (the order the sequential loop would have used).
+        """
+        corrected = np.asarray(corrected)
+        keys = list(keys)
+        if corrected.ndim != 2 or corrected.shape[0] != len(keys):
+            raise ValueError(
+                f"update_batch needs a ({len(keys)}, d) matrix, got shape "
+                f"{corrected.shape}"
+            )
+        if len(sents) != len(keys):
+            raise ValueError(f"{len(keys)} keys but {len(sents)} selections")
+        residuals = corrected.copy()
+        for row, (key, sent) in enumerate(zip(keys, sents)):
+            if sent.length != corrected.shape[1]:
+                raise ValueError(
+                    f"sent length {sent.length} does not match gradient size "
+                    f"{corrected.shape[1]}"
+                )
+            residual = residuals[row]
+            _subtract_sent(residual, corrected[row], sent)
+            self._residuals[key] = residual
+
     def update(self, key: object, corrected: np.ndarray, sent: SparseVector) -> None:
         """Store the un-transmitted part of ``corrected`` as the new residual.
 
@@ -75,10 +153,7 @@ class ErrorFeedback:
                 f"sent length {sent.length} does not match gradient size {corrected.size}"
             )
         residual = corrected.copy()
-        residual[sent.indices] = 0.0
-        # Entries where the transmitted value differs from the local one
-        # (e.g. scaled random-k) keep the difference.
-        residual[sent.indices] += corrected[sent.indices] - sent.to_dense()[sent.indices]
+        _subtract_sent(residual, corrected, sent)
         self._residuals[key] = residual
 
     def reset(self, key: object | None = None) -> None:

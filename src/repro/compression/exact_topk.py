@@ -84,6 +84,41 @@ class ExactTopK(TopKCompressor):
             return naive_topk_sort(x, k)
         return topk_argpartition(x, k)
 
+    def select_batch(
+        self,
+        xs,
+        ks,
+        *,
+        rng: RandomState | None = None,
+    ) -> list[SparseVector]:
+        """Batched exact selection: one axis-wise ``argpartition`` pass.
+
+        NumPy's introselect runs independently per row, so the batched
+        result is bit-identical to per-shard :func:`topk_argpartition`
+        calls (pinned by the parity tests).  Unequal shard lengths, the
+        ``k == 0`` / ``k == d`` edges, and the deliberately-slow ``sort``
+        method fall back to the per-shard loop.
+        """
+        rows, ks = self._validate_batch(xs, ks)
+        if not rows:
+            return []
+        d = rows[0].size
+        uniform = (
+            self.method == "argpartition"
+            and all(r.size == d for r in rows)
+            and all(k == ks[0] for k in ks)
+            and 0 < ks[0] < d
+        )
+        if not uniform:
+            return [self.select(x, k, rng=rng) for x, k in zip(rows, ks)]
+        k = ks[0]
+        mat = xs if isinstance(xs, np.ndarray) and xs.ndim == 2 else np.stack(rows)
+        magnitude = np.abs(mat)
+        indices = np.argpartition(magnitude, d - k, axis=1)[:, d - k :].astype(np.int64)
+        return [
+            SparseVector(row[idx], idx, d) for row, idx in zip(rows, indices)
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExactTopK(method={self.method!r})"
 

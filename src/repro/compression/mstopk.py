@@ -21,6 +21,7 @@ approximation can only differ from exact top-k inside the band.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -34,13 +35,22 @@ DEFAULT_N_SAMPLINGS = 30
 
 @dataclass(frozen=True)
 class ThresholdSearchResult:
-    """Outcome of the binary threshold search (Algorithm 1 lines 1–24)."""
+    """Outcome of the binary threshold search (Algorithm 1 lines 1–24).
 
-    thres1: float  # selects k1 <= k elements
-    thres2: float  # selects k2 > k elements (or 0.0 if never found)
+    ``found1`` records explicitly whether ``thres1`` was ever
+    established.  The previous implementation used ``thres1 == 0.0`` as
+    the "unset" sentinel, which conflates "never bracketed" with a
+    legitimately-zero threshold (an all-zero gradient, e.g. a frozen
+    layer, with ``k == d``) and mis-brackets the selection.
+    """
+
+    thres1: float  # tightest threshold selecting k1 <= k elements
+    thres2: float  # tightest threshold selecting k2 > k elements
     k1: int
     k2: int
     iterations: int
+    found1: bool = False  # thres1 established (not the 0.0 sentinel)
+    found2: bool = False  # thres2 established
 
 
 def mstopk_threshold_search(
@@ -63,6 +73,7 @@ def mstopk_threshold_search(
     lo, hi = 0.0, 1.0
     k1, k2 = 0, d
     thres1, thres2 = 0.0, 0.0
+    found1, found2 = False, False
 
     for _ in range(n_samplings):
         ratio = lo + (hi - lo) / 2.0
@@ -70,16 +81,115 @@ def mstopk_threshold_search(
         nnz = int(np.count_nonzero(magnitude >= thres))
         if nnz <= k:
             hi = ratio
-            if nnz > k1 or thres1 == 0.0:
+            if nnz > k1 or not found1:
                 k1 = nnz
                 thres1 = thres
+                found1 = True
         else:
             lo = ratio
             if nnz < k2:
                 k2 = nnz
                 thres2 = thres
+                found2 = True
 
-    return ThresholdSearchResult(thres1, thres2, k1, k2, n_samplings)
+    return ThresholdSearchResult(thres1, thres2, k1, k2, n_samplings, found1, found2)
+
+
+def mstopk_threshold_search_batch(
+    magnitudes: Sequence[np.ndarray],
+    ks: Sequence[int],
+    n_samplings: int = DEFAULT_N_SAMPLINGS,
+) -> list[ThresholdSearchResult]:
+    """Batched threshold search: one count pass per iteration for *all* shards.
+
+    Bit-identical to calling :func:`mstopk_threshold_search` on every
+    shard independently: per-shard ``mean``/``max`` are computed on the
+    exact shard slices (so unequal shard lengths never perturb the
+    pairwise summation), and the ``lo``/``hi``/``thres`` updates are the
+    same IEEE-754 scalar operations applied elementwise.  The ``30 × n``
+    Python-level count passes of the sequential path collapse into
+    ``30`` broadcast passes over an ``(n_shards, max_len)`` matrix.
+    """
+    if n_samplings < 1:
+        raise ValueError(f"n_samplings must be >= 1, got {n_samplings}")
+    rows = [np.asarray(m) for m in magnitudes]
+    if len(rows) != len(ks):
+        raise ValueError(f"{len(rows)} shards but {len(ks)} k values")
+    if not rows:
+        return []
+    lengths = np.array([r.size for r in rows])
+    ks_arr = np.asarray(ks, dtype=np.int64)
+    for i, (length, k) in enumerate(zip(lengths, ks_arr)):
+        if rows[i].ndim != 1:
+            raise ValueError(f"shard {i} must be 1-D, got shape {rows[i].shape}")
+        if not 1 <= k <= length:
+            raise ValueError(f"k={k} out of range for shard {i} of size {length}")
+
+    n = len(rows)
+    # Per-shard mean/max on the true slices (cheap, and bit-identical to
+    # the scalar path — padding would perturb NumPy's pairwise sums).
+    means = np.array([float(r.mean()) for r in rows])
+    tops = np.array([float(r.max()) for r in rows])
+
+    max_len = int(lengths.max())
+    if bool(np.all(lengths == max_len)):
+        mag = np.stack(rows)
+        mask = None
+    else:
+        mag = np.zeros((n, max_len), dtype=np.result_type(*rows))
+        mask = np.zeros((n, max_len), dtype=bool)
+        for i, r in enumerate(rows):
+            mag[i, : r.size] = r
+            mask[i, : r.size] = True
+
+    # Per-shard bracketing state stays in plain Python scalars (the
+    # same IEEE-754 arithmetic as the scalar search, and far cheaper
+    # than ufunc dispatch on length-``n`` vectors); only the O(n * d)
+    # count pass is batched.
+    means_l = means.tolist()
+    spans_l = (tops - means).tolist()
+    ks_l = ks_arr.tolist()
+    lo = [0.0] * n
+    hi = [1.0] * n
+    k1 = [0] * n
+    k2 = lengths.astype(int).tolist()
+    thres1 = [0.0] * n
+    thres2 = [0.0] * n
+    found1 = [False] * n
+    found2 = [False] * n
+    thres = np.empty(n)
+    ratios = [0.0] * n
+
+    for _ in range(n_samplings):
+        for i in range(n):
+            ratio = lo[i] + (hi[i] - lo[i]) / 2.0
+            ratios[i] = ratio
+            thres[i] = means_l[i] + ratio * spans_l[i]
+        above = mag >= thres[:, None]
+        if mask is not None:
+            above &= mask
+        counts = above.sum(axis=1).tolist()
+        for i in range(n):
+            nnz = counts[i]
+            if nnz <= ks_l[i]:
+                hi[i] = ratios[i]
+                if nnz > k1[i] or not found1[i]:
+                    k1[i] = nnz
+                    thres1[i] = float(thres[i])
+                    found1[i] = True
+            else:
+                lo[i] = ratios[i]
+                if nnz < k2[i]:
+                    k2[i] = nnz
+                    thres2[i] = float(thres[i])
+                    found2[i] = True
+
+    return [
+        ThresholdSearchResult(
+            thres1[i], thres2[i], k1[i], k2[i], n_samplings, found1[i], found2[i]
+        )
+        for i in range(n)
+    ]
 
 
 def mstopk_select(
@@ -117,15 +227,24 @@ def mstopk_select(
 
     magnitude = np.abs(x)
     search = mstopk_threshold_search(magnitude, k, n_samplings)
-    thres1, k1 = search.thres1, search.k1
+    return _select_from_search(x, magnitude, k, search, rng)
 
-    if thres1 > 0.0:
-        head = np.flatnonzero(magnitude >= thres1)
+
+def _select_from_search(
+    x: np.ndarray,
+    magnitude: np.ndarray,
+    k: int,
+    search: ThresholdSearchResult,
+    rng: RandomState | None,
+) -> SparseVector:
+    """Algorithm 1 lines 25–29: gather the head and a contiguous tail run."""
+    if search.found1:
+        head = np.flatnonzero(magnitude >= search.thres1)
         # Degenerate magnitude distributions (many ties at the max) can
         # make the count at thres1 exceed k; truncate to keep exactness.
         if head.size > k:
             head = head[:k]
-        band = np.flatnonzero((magnitude < thres1) & (magnitude >= search.thres2))
+        band = np.flatnonzero((magnitude < search.thres1) & (magnitude >= search.thres2))
     else:
         # thres1 was never established (possible only when every sampled
         # threshold selected more than k elements, e.g. near-constant
@@ -154,6 +273,54 @@ def mstopk_select(
     return SparseVector(x[indices], indices, x.size)
 
 
+def mstopk_select_batch(
+    xs: Sequence[np.ndarray],
+    ks: Sequence[int],
+    *,
+    n_samplings: int = DEFAULT_N_SAMPLINGS,
+    rng: RandomState | None = None,
+) -> list[SparseVector]:
+    """Batched Algorithm 1 over many shards at once.
+
+    Bit-identical to calling :func:`mstopk_select` per shard in order:
+    the threshold search is one broadcast pass per iteration (via
+    :func:`mstopk_threshold_search_batch`) and the random tail offsets
+    are drawn shard-by-shard in the same order, so the consumed ``rng``
+    stream matches the sequential path exactly.
+    """
+    rows = [np.asarray(x) for x in xs]
+    if len(rows) != len(ks):
+        raise ValueError(f"{len(rows)} shards but {len(ks)} k values")
+    for i, (x, k) in enumerate(zip(rows, ks)):
+        if x.ndim != 1:
+            raise ValueError(f"shard {i} must be 1-D, got shape {x.shape}")
+        if not 0 <= k <= x.size:
+            raise ValueError(f"k={k} out of range for shard {i} of size {x.size}")
+
+    # Trivial shards (k == 0 or k == d) never reach the search in the
+    # scalar path, so exclude them from the batch too.
+    search_rows = [i for i, (x, k) in enumerate(zip(rows, ks)) if 0 < ks[i] < x.size]
+    magnitudes = {i: np.abs(rows[i]) for i in search_rows}
+    searches = mstopk_threshold_search_batch(
+        [magnitudes[i] for i in search_rows],
+        [ks[i] for i in search_rows],
+        n_samplings,
+    )
+    search_by_row = dict(zip(search_rows, searches))
+
+    out: list[SparseVector] = []
+    for i, (x, k) in enumerate(zip(rows, ks)):
+        if k == 0:
+            out.append(
+                SparseVector(np.empty(0, dtype=x.dtype), np.empty(0, dtype=np.int64), x.size)
+            )
+        elif k == x.size:
+            out.append(SparseVector(x.copy(), np.arange(x.size, dtype=np.int64), x.size))
+        else:
+            out.append(_select_from_search(x, magnitudes[i], k, search_by_row[i], rng))
+    return out
+
+
 class MSTopK(TopKCompressor):
     """Compressor wrapper around :func:`mstopk_select`."""
 
@@ -169,6 +336,16 @@ class MSTopK(TopKCompressor):
         x = self._validate(x, k)
         return mstopk_select(x, k, n_samplings=self.n_samplings, rng=rng)
 
+    def select_batch(
+        self,
+        xs,
+        ks,
+        *,
+        rng: RandomState | None = None,
+    ) -> list[SparseVector]:
+        rows, ks = self._validate_batch(xs, ks)
+        return mstopk_select_batch(rows, ks, n_samplings=self.n_samplings, rng=rng)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MSTopK(n_samplings={self.n_samplings})"
 
@@ -177,6 +354,8 @@ __all__ = [
     "DEFAULT_N_SAMPLINGS",
     "ThresholdSearchResult",
     "mstopk_threshold_search",
+    "mstopk_threshold_search_batch",
     "mstopk_select",
+    "mstopk_select_batch",
     "MSTopK",
 ]

@@ -161,6 +161,7 @@ class ElasticTrainer:
         warning_seconds: float = 120.0,
         timing_d: int | None = None,
         variability: VariabilityModel | None = None,
+        legacy_hotpath: bool = False,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -180,6 +181,9 @@ class ElasticTrainer:
         self.restart_seconds = restart_seconds
         self.warning_seconds = warning_seconds
         self.variability = variability
+        # Parity escape hatch: route every (re)built trainer through the
+        # pre-vectorisation reference step (see DistributedTrainer).
+        self.legacy_hotpath = legacy_hotpath
         self.membership = MembershipView(
             num_nodes, gpus_per_node, instance=instance, min_nodes=min_nodes
         )
@@ -213,7 +217,11 @@ class ElasticTrainer:
             compressor=self.compressor,
         )
         return DistributedTrainer(
-            self.model, scheme, optimizer=self.optimizer, seed=self.seed
+            self.model,
+            scheme,
+            optimizer=self.optimizer,
+            seed=self.seed,
+            legacy_hotpath=self.legacy_hotpath,
         )
 
     # -- checkpoint / restore --------------------------------------------------

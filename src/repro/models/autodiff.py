@@ -16,7 +16,8 @@ differences in ``tests/models/test_autodiff.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from contextlib import contextmanager
+from typing import Callable
 
 import numpy as np
 
@@ -78,12 +79,22 @@ class Tensor:
     def detach(self) -> "Tensor":
         return Tensor(self.data.copy())
 
-    def _accumulate(self, grad: Array) -> None:
+    def _accumulate(self, grad: Array, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient slot.
+
+        ``owned=True`` promises the caller hands over a freshly
+        allocated array it will neither mutate nor share — the first
+        accumulation can then adopt it without the defensive copy.
+        Closures that pass views of a child's gradient (add, reshape,
+        transpose, sum's broadcast) must keep the default.
+        """
         grad = np.asarray(grad, dtype=np.float64)
         if grad.shape != self.data.shape:
+            # _unbroadcast always reduces, so its result is fresh.
             grad = _unbroadcast(grad, self.data.shape)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if owned else grad.copy()
         else:
             self.grad += grad
 
@@ -202,7 +213,7 @@ def add(a: Tensor, b: Tensor) -> Tensor:
 
 def neg(a: Tensor) -> Tensor:
     def backward(grad: Array) -> None:
-        a._accumulate(-grad)
+        a._accumulate(-grad, owned=True)
 
     return _node(-a.data, (a,), backward)
 
@@ -211,8 +222,8 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
     out_data = a.data * b.data
 
     def backward(grad: Array) -> None:
-        a._accumulate(grad * b.data)
-        b._accumulate(grad * a.data)
+        a._accumulate(grad * b.data, owned=True)
+        b._accumulate(grad * a.data, owned=True)
 
     return _node(out_data, (a, b), backward)
 
@@ -221,7 +232,7 @@ def power(a: Tensor, exponent: float) -> Tensor:
     out_data = a.data**exponent
 
     def backward(grad: Array) -> None:
-        a._accumulate(grad * exponent * a.data ** (exponent - 1))
+        a._accumulate(grad * exponent * a.data ** (exponent - 1), owned=True)
 
     return _node(out_data, (a,), backward)
 
@@ -230,32 +241,30 @@ def exp(a: Tensor) -> Tensor:
     out_data = np.exp(a.data)
 
     def backward(grad: Array) -> None:
-        a._accumulate(grad * out_data)
+        a._accumulate(grad * out_data, owned=True)
 
     return _node(out_data, (a,), backward)
 
 
 def log(a: Tensor) -> Tensor:
     def backward(grad: Array) -> None:
-        a._accumulate(grad / a.data)
+        a._accumulate(grad / a.data, owned=True)
 
     return _node(np.log(a.data), (a,), backward)
 
 
 def relu(a: Tensor) -> Tensor:
-    mask = a.data > 0
-
     def backward(grad: Array) -> None:
-        a._accumulate(grad * mask)
+        a._accumulate(grad * (a.data > 0), owned=True)
 
-    return _node(a.data * mask, (a,), backward)
+    return _node(np.maximum(a.data, 0.0), (a,), backward)
 
 
 def tanh(a: Tensor) -> Tensor:
     out_data = np.tanh(a.data)
 
     def backward(grad: Array) -> None:
-        a._accumulate(grad * (1.0 - out_data**2))
+        a._accumulate(grad * (1.0 - out_data**2), owned=True)
 
     return _node(out_data, (a,), backward)
 
@@ -271,20 +280,20 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
         a_data, b_data = a.data, b.data
         if b_data.ndim == 1:
             grad_a = np.multiply.outer(grad, b_data) if a_data.ndim > 1 else grad * b_data
-            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape))
+            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape), owned=True)
             grad_b = (a_data * grad[..., None]).sum(axis=tuple(range(a_data.ndim - 1)))
-            b._accumulate(grad_b)
+            b._accumulate(grad_b, owned=True)
             return
         if a_data.ndim == 1:
             grad_a = grad @ np.swapaxes(b_data, -1, -2)
-            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape))
+            a._accumulate(_unbroadcast(np.asarray(grad_a), a_data.shape), owned=True)
             grad_b = np.multiply.outer(a_data, grad)
-            b._accumulate(_unbroadcast(np.asarray(grad_b), b_data.shape))
+            b._accumulate(_unbroadcast(np.asarray(grad_b), b_data.shape), owned=True)
             return
         grad_a = grad @ np.swapaxes(b_data, -1, -2)
         grad_b = np.swapaxes(a_data, -1, -2) @ grad
-        a._accumulate(_unbroadcast(grad_a, a_data.shape))
-        b._accumulate(_unbroadcast(grad_b, b_data.shape))
+        a._accumulate(_unbroadcast(grad_a, a_data.shape), owned=True)
+        b._accumulate(_unbroadcast(grad_b, b_data.shape), owned=True)
 
     return _node(out_data, (a, b), backward)
 
@@ -349,7 +358,7 @@ def softmax(a: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: Array) -> None:
         g = np.asarray(grad)
         dot = (g * out_data).sum(axis=axis, keepdims=True)
-        a._accumulate(out_data * (g - dot))
+        a._accumulate(out_data * (g - dot), owned=True)
 
     return _node(out_data, (a,), backward)
 
@@ -384,7 +393,7 @@ def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
         dlogits[rows[valid], flat_labels[valid]] -= 1.0
         dlogits[~valid] = 0.0
         dlogits *= g / count
-        logits._accumulate(dlogits.reshape(data.shape))
+        logits._accumulate(dlogits.reshape(data.shape), owned=True)
 
     return _node(np.asarray(loss_value), (logits,), backward)
 
@@ -400,13 +409,13 @@ def layer_norm(a: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
 
     def backward(grad: Array) -> None:
         g = np.asarray(grad)
-        gamma._accumulate((g * x_hat).sum(axis=tuple(range(g.ndim - 1))))
-        beta._accumulate(g.sum(axis=tuple(range(g.ndim - 1))))
+        gamma._accumulate((g * x_hat).sum(axis=tuple(range(g.ndim - 1))), owned=True)
+        beta._accumulate(g.sum(axis=tuple(range(g.ndim - 1))), owned=True)
         gx = g * gamma.data
         term1 = gx
         term2 = gx.mean(axis=-1, keepdims=True)
         term3 = x_hat * (gx * x_hat).mean(axis=-1, keepdims=True)
-        a._accumulate(inv * (term1 - term2 - term3))
+        a._accumulate(inv * (term1 - term2 - term3), owned=True)
 
     return _node(out_data, (a, gamma, beta), backward)
 
@@ -420,12 +429,54 @@ def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
         g = np.asarray(grad)
         dtable = np.zeros_like(table.data)
         np.add.at(dtable, ids.reshape(-1), g.reshape(-1, table.data.shape[1]))
-        table._accumulate(dtable)
+        table._accumulate(dtable, owned=True)
 
     return _node(out_data, (table,), backward)
 
 
 # -- convolution (im2col) --------------------------------------------------------------
+
+#: When True, conv2d runs the pre-vectorisation reference kernels
+#: (einsum contractions + the kernel-position scatter loop).  Only the
+#: perf baseline and kernel-parity tests flip this, via
+#: :func:`legacy_conv_kernels`.
+_LEGACY_CONV_KERNELS = False
+
+
+@contextmanager
+def legacy_conv_kernels():
+    """Temporarily restore the pre-vectorisation conv2d kernels.
+
+    The vectorised kernels (BLAS matmul contractions, transposed-conv
+    input gradient, feature-major layout) change the floating-point
+    accumulation *order*, so they are numerically equivalent but not
+    bit-identical to the old einsum path.  Parity tests and the hot-path
+    benchmark use this context to compare against the faithful original
+    (models that adopt the feature-major layout also check
+    :func:`legacy_kernels_active` to restore their original op chain).
+    """
+    global _LEGACY_CONV_KERNELS
+    previous = _LEGACY_CONV_KERNELS
+    _LEGACY_CONV_KERNELS = True
+    try:
+        yield
+    finally:
+        _LEGACY_CONV_KERNELS = previous
+
+
+def legacy_kernels_active() -> bool:
+    """Whether :func:`legacy_conv_kernels` is currently in force."""
+    return _LEGACY_CONV_KERNELS
+
+
+def _pad_nchw(x: Array, padding: int) -> Array:
+    """Zero-pad the two spatial dims (faster than ``np.pad`` for 4-D)."""
+    if not padding:
+        return x
+    n, c, h, w = x.shape
+    out = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype)
+    out[:, :, padding : padding + h, padding : padding + w] = x
+    return out
 
 
 def _im2col(x: Array, kernel: int, stride: int) -> tuple[Array, int, int]:
@@ -446,40 +497,265 @@ def _im2col(x: Array, kernel: int, stride: int) -> tuple[Array, int, int]:
     return np.ascontiguousarray(cols), out_h, out_w
 
 
+def _im2col_fm(x: Array, kernel: int, stride: int) -> tuple[Array, int, int]:
+    """Feature-major im2col: ``(c * k * k, n * out_h * out_w)``.
+
+    The batch axis folds into the GEMM's N dimension, so one large
+    matrix multiply replaces ``n`` tiny per-sample GEMMs — the layout
+    the vectorised conv kernels contract against.
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    shape = (c, kernel, kernel, n, out_h, out_w)
+    strides = (
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[0],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return (
+        cols.reshape(c * kernel * kernel, n * out_h * out_w),
+        out_h,
+        out_w,
+    )
+
+
+def _conv_input_grad(
+    g: Array,
+    weight: Array,
+    padded_shape: tuple[int, ...],
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> Array:
+    """Vectorised dL/d(padded input): a transposed convolution.
+
+    The output gradient is dilated by ``stride``, zero-padded by
+    ``kernel - 1``, and correlated with the spatially-flipped,
+    channel-swapped weights — one im2col + one BLAS matmul instead of
+    the ``kernel**2`` Python-loop scatter of the original.
+    """
+    n, in_c = padded_shape[0], padded_shape[1]
+    out_c = weight.shape[0]
+    dil_h = (out_h - 1) * stride + 1
+    dil_w = (out_w - 1) * stride + 1
+    g_dil = np.zeros(
+        (n, out_c, dil_h + 2 * (kernel - 1), dil_w + 2 * (kernel - 1)),
+        dtype=g.dtype,
+    )
+    g_dil[
+        :,
+        :,
+        kernel - 1 : kernel - 1 + dil_h : stride,
+        kernel - 1 : kernel - 1 + dil_w : stride,
+    ] = g.reshape(n, out_c, out_h, out_w)
+    cols_g, core_h, core_w = _im2col_fm(g_dil, kernel, 1)
+    # (in_c, out_c * k * k): flip spatial taps, swap in/out channels.
+    w_flip = (
+        weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3).reshape(in_c, -1)
+    )
+    core = (
+        (w_flip @ cols_g)
+        .reshape(in_c, n, core_h, core_w)
+        .transpose(1, 0, 2, 3)
+    )
+    # Rows/cols of the padded input beyond the last window (when
+    # (H - kernel) % stride != 0) receive no gradient.
+    if (core_h, core_w) == padded_shape[2:]:
+        return np.ascontiguousarray(core)
+    dpadded = np.zeros(padded_shape, dtype=g.dtype)
+    dpadded[:, :, :core_h, :core_w] = core
+    return dpadded
+
+
 def conv2d(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
-    """NCHW convolution via im2col; ``weight`` is ``(out_c, in_c, k, k)``."""
-    if padding:
-        padded = np.pad(
-            x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
-        )
-    else:
-        padded = x.data
+    """NCHW convolution via im2col; ``weight`` is ``(out_c, in_c, k, k)``.
+
+    The forward contraction and all three backward contractions run as
+    BLAS matmuls (the original einsum kernels and the kernel-position
+    double loop are kept behind :func:`legacy_conv_kernels` for
+    baselining).
+    """
+    padded = _pad_nchw(x.data, padding)
     out_c, in_c, kernel, kernel2 = weight.data.shape
     if kernel != kernel2:
         raise ValueError("only square kernels supported")
-    cols, out_h, out_w = _im2col(padded, kernel, stride)
-    w_mat = weight.data.reshape(out_c, -1)
-    out = np.einsum("of,nfl->nol", w_mat, cols)
     n = x.data.shape[0]
-    out_data = out.reshape(n, out_c, out_h, out_w)
+    w_mat = weight.data.reshape(out_c, -1)
+    legacy = _LEGACY_CONV_KERNELS
+    if legacy:
+        cols, out_h, out_w = _im2col(padded, kernel, stride)
+        out_data = np.einsum("of,nfl->nol", w_mat, cols).reshape(
+            n, out_c, out_h, out_w
+        )
+    else:
+        # Feature-major layout: the batch folds into the GEMM's N
+        # dimension, so the forward contraction is ONE (out_c, f) x
+        # (f, n*L) multiply instead of n per-sample GEMMs.
+        cols, out_h, out_w = _im2col_fm(padded, kernel, stride)
+        out_data = np.ascontiguousarray(
+            (w_mat @ cols).reshape(out_c, n, out_h, out_w).transpose(1, 0, 2, 3)
+        )
 
     def backward(grad: Array) -> None:
-        g = np.asarray(grad).reshape(n, out_c, -1)
-        dw = np.einsum("nol,nfl->of", g, cols).reshape(weight.data.shape)
-        weight._accumulate(dw)
-        dcols = np.einsum("of,nol->nfl", w_mat, g)
+        if legacy:
+            g = np.asarray(grad).reshape(n, out_c, -1)
+            dw = np.einsum("nol,nfl->of", g, cols).reshape(weight.data.shape)
+        else:
+            g = np.asarray(grad).reshape(n, out_c, -1)
+            g_fm = np.ascontiguousarray(g.transpose(1, 0, 2)).reshape(out_c, -1)
+            dw = (g_fm @ cols.T).reshape(weight.data.shape)
+        weight._accumulate(dw, owned=True)
+        if not legacy and not x.requires_grad and x._backward is None:
+            # The input is a leaf that nothing differentiates (the image
+            # batch feeding the first conv): skip the transposed
+            # convolution entirely instead of materialising a gradient
+            # no one reads.
+            return
+        if not legacy:
+            dpadded = _conv_input_grad(
+                g, weight.data, padded.shape, kernel, stride, out_h, out_w
+            )
+        else:
+            dcols = np.einsum("of,nol->nfl", w_mat, g)
+            dpadded = np.zeros_like(padded)
+            dcols = dcols.reshape(n, in_c, kernel, kernel, out_h, out_w)
+            for i in range(kernel):
+                for j in range(kernel):
+                    dpadded[
+                        :,
+                        :,
+                        i : i + out_h * stride : stride,
+                        j : j + out_w * stride : stride,
+                    ] += dcols[:, :, i, j]
+        if padding:
+            dpadded = dpadded[:, :, padding:-padding, padding:-padding]
+        x._accumulate(dpadded, owned=True)
+
+    return _node(out_data, (x, weight), backward)
+
+
+def _im2col_cnhw(x: Array, kernel: int, stride: int) -> tuple[Array, int, int]:
+    """Feature-major im2col over a channels-first ``(c, n, h, w)`` array."""
+    c, n, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    shape = (c, kernel, kernel, n, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[2],
+        x.strides[3],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    cols = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return (
+        cols.reshape(c * kernel * kernel, n * out_h * out_w),
+        out_h,
+        out_w,
+    )
+
+
+def conv2d_cnhw(x: Tensor, weight: Tensor, stride: int = 1, padding: int = 0) -> Tensor:
+    """Convolution over channel-major ``(c, n, h, w)`` activations.
+
+    The zero-transpose variant of :func:`conv2d` for models that keep
+    their activations channel-major end to end: the forward GEMM output
+    ``(out_c, n * L)`` *is* the output layout, the incoming gradient
+    reshapes to GEMM form as a view, and the transposed-convolution
+    input gradient lands directly in ``(in_c, n, h, w)`` — three fewer
+    full-tensor copies per conv than the NCHW path, which matters when
+    the hot path is memory-bound.  Elementwise ops and spatial pooling
+    are layout-agnostic (spatial dims stay last), so only the conv op
+    needs this variant.
+    """
+    padded = _pad_nchw(x.data, padding)  # pads the trailing spatial dims
+    out_c, in_c, kernel, kernel2 = weight.data.shape
+    if kernel != kernel2:
+        raise ValueError("only square kernels supported")
+    if x.data.shape[0] != in_c:
+        raise ValueError(
+            f"channel-major input has {x.data.shape[0]} channels, weight expects {in_c}"
+        )
+    n = x.data.shape[1]
+    w_mat = weight.data.reshape(out_c, -1)
+    cols, out_h, out_w = _im2col_cnhw(padded, kernel, stride)
+    out_data = (w_mat @ cols).reshape(out_c, n, out_h, out_w)
+
+    def backward(grad: Array) -> None:
+        g = np.ascontiguousarray(np.asarray(grad)).reshape(out_c, -1)
+        dw = (g @ cols.T).reshape(weight.data.shape)
+        weight._accumulate(dw, owned=True)
+        if not x.requires_grad and x._backward is None:
+            return
+        # Input gradient: one GEMM back to column space, then k*k
+        # strided-window accumulations.  At small spatial maps this
+        # moves ~(out_c/in_c) * (core/L) times fewer bytes than the
+        # dilated transposed convolution conv2d's NCHW path uses, which
+        # is what matters on a memory-bound host.
+        dcols = (w_mat.T @ g).reshape(in_c, kernel, kernel, n, out_h, out_w)
         dpadded = np.zeros_like(padded)
-        dcols = dcols.reshape(n, in_c, kernel, kernel, out_h, out_w)
         for i in range(kernel):
             for j in range(kernel):
                 dpadded[
-                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
-                ] += dcols[:, :, i, j]
+                    :,
+                    :,
+                    i : i + out_h * stride : stride,
+                    j : j + out_w * stride : stride,
+                ] += dcols[:, i, j]
         if padding:
             dpadded = dpadded[:, :, padding:-padding, padding:-padding]
-        x._accumulate(dpadded)
+        x._accumulate(dpadded, owned=True)
 
     return _node(out_data, (x, weight), backward)
+
+
+def softmax_cross_entropy_workers(
+    logits: Tensor, labels: np.ndarray, workers: int
+) -> tuple[Tensor, Array]:
+    """Worker-blocked cross-entropy: per-worker mean losses, one tape node.
+
+    ``logits`` is ``(W * B, C)`` (worker-major rows) with ``labels``
+    ``(W * B,)``; returns the scalar tape node (sum of the per-worker
+    means — its backward produces exactly the per-worker ``1/B``-scaled
+    gradients the sequential path computes) plus the ``(W,)`` array of
+    per-worker mean losses.  Padded labels (< 0) are not supported here;
+    use :func:`softmax_cross_entropy` per worker for those workloads.
+    """
+    labels = np.asarray(labels).reshape(-1)
+    data = logits.data
+    if data.ndim != 2 or data.shape[0] != labels.size:
+        raise ValueError(
+            f"need flat (N, C) logits matching {labels.size} labels, got {data.shape}"
+        )
+    if data.shape[0] % workers:
+        raise ValueError(f"{data.shape[0]} rows do not split over {workers} workers")
+    if labels.size and labels.min() < 0:
+        raise ValueError("softmax_cross_entropy_workers requires unpadded labels")
+    local = data.shape[0] // workers
+    shifted = data - data.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    rows = np.arange(labels.size)
+    picked = log_probs[rows, labels]
+    count = max(1, local)
+    losses = -picked.reshape(workers, local).sum(axis=1) / count
+    probs = np.exp(log_probs)
+
+    def backward(grad: Array) -> None:
+        g = float(np.asarray(grad))
+        dlogits = probs.copy()
+        dlogits[rows, labels] -= 1.0
+        dlogits *= g / count
+        logits._accumulate(dlogits, owned=True)
+
+    return _node(np.asarray(losses.sum()), (logits,), backward), losses
 
 
 def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
@@ -493,8 +769,14 @@ def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
 
     def backward(grad: Array) -> None:
         g = np.asarray(grad) / (kernel * kernel)
-        expanded = np.repeat(np.repeat(g, kernel, axis=2), kernel, axis=3)
-        x._accumulate(expanded)
+        # One broadcast + reshape instead of two repeat copies.  For
+        # kernel == 1 the reshape stays a read-only view of the
+        # broadcast (no copy happens), so only hand over ownership when
+        # the reshape actually materialised a writable array.
+        expanded = np.broadcast_to(
+            g[:, :, :, None, :, None], (n, c, out_h, kernel, out_w, kernel)
+        ).reshape(n, c, h, w)
+        x._accumulate(expanded, owned=expanded.flags.writeable)
 
     return _node(out_data, (x,), backward)
 
@@ -519,5 +801,9 @@ __all__ = [
     "layer_norm",
     "embedding",
     "conv2d",
+    "conv2d_cnhw",
+    "softmax_cross_entropy_workers",
+    "legacy_conv_kernels",
+    "legacy_kernels_active",
     "avg_pool2d",
 ]

@@ -13,6 +13,8 @@ from repro.models.autodiff import (
     Tensor,
     avg_pool2d,
     conv2d,
+    conv2d_cnhw,
+    legacy_kernels_active,
     softmax_cross_entropy,
 )
 from repro.utils.seeding import RandomState
@@ -55,11 +57,32 @@ class SmallConvNet:
         h = h.mean(axis=(2, 3))
         return h @ params["fc.weight"] + params["fc.bias"]
 
+    def logits_cnhw(self, params: dict[str, Tensor], x_cn: Tensor) -> Tensor:
+        """Channel-major hot path: zero transposes through the conv stack.
+
+        ``x_cn`` is the batch transposed to ``(c, n, h, w)``; relu and
+        average pooling are layout-agnostic (spatial dims stay last), so
+        the only layout handling is one tiny input transpose and the
+        ``(c2, n) -> (n, c2)`` flip before the classifier head.
+        """
+        h = conv2d_cnhw(x_cn, params["conv1.weight"], stride=1, padding=1).relu()
+        h = avg_pool2d(h, 2)
+        h = conv2d_cnhw(h, params["conv2.weight"], stride=1, padding=1).relu()
+        h = h.mean(axis=(2, 3)).transpose()
+        return h @ params["fc.weight"] + params["fc.bias"]
+
     def loss_and_grad(
         self, params: dict[str, np.ndarray], x: np.ndarray, y: np.ndarray
     ) -> tuple[float, dict[str, np.ndarray], dict[str, float]]:
         tensors = {k: Tensor(v, requires_grad=True) for k, v in params.items()}
-        logits = self.logits(tensors, Tensor(np.asarray(x)))
+        if legacy_kernels_active():
+            # The faithful pre-vectorisation chain (NCHW + einsum conv).
+            logits = self.logits(tensors, Tensor(np.asarray(x)))
+        else:
+            x_cn = Tensor(
+                np.ascontiguousarray(np.asarray(x).transpose(1, 0, 2, 3))
+            )
+            logits = self.logits_cnhw(tensors, x_cn)
         loss = softmax_cross_entropy(logits, y)
         loss.backward()
         grads = {k: t.grad for k, t in tensors.items()}

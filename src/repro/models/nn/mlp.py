@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.models.autodiff import Tensor, softmax_cross_entropy
+from repro.models.autodiff import (
+    Tensor,
+    reshape,
+    softmax_cross_entropy,
+    softmax_cross_entropy_workers,
+)
 from repro.utils.seeding import RandomState
 
 
@@ -67,6 +72,43 @@ class MLPClassifier:
         grads = {k: t.grad for k, t in tensors.items()}
         accuracy = float((logits.data.argmax(axis=1) == np.asarray(y)).mean())
         return float(loss.data), grads, {"accuracy": accuracy}
+
+    def loss_and_grad_workers(
+        self, params: dict[str, np.ndarray], xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, dict[str, np.ndarray], list[dict[str, float]]]:
+        """Fused forward + backward for ``W`` workers' batches at once.
+
+        ``xs`` is ``(W, B, ...)`` and ``ys`` is ``(W, B)``.  Parameters
+        are replicated along a worker axis so the worker-batched matmuls
+        produce per-worker gradients in single batched GEMMs —
+        bit-identical to ``W`` sequential :meth:`loss_and_grad` calls
+        (pinned by the hot-path parity tests).
+        """
+        xs = np.asarray(xs)
+        ys = np.asarray(ys)
+        workers, local = xs.shape[0], xs.shape[1]
+        tensors = {
+            k: Tensor(np.broadcast_to(v, (workers,) + v.shape).copy(), requires_grad=True)
+            for k, v in params.items()
+        }
+        h = Tensor(xs.reshape(workers, local, -1))
+        n_layers = len(self.hidden) + 1
+        for i in range(n_layers):
+            bias = tensors[f"fc{i}.bias"]
+            width = bias.data.shape[-1]
+            h = h @ tensors[f"fc{i}.weight"] + reshape(bias, (workers, 1, width))
+            if i < n_layers - 1:
+                h = h.relu()
+        logits = reshape(h, (workers * local, self.num_classes))
+        loss, losses = softmax_cross_entropy_workers(logits, ys.reshape(-1), workers)
+        loss.backward()
+        grads = {
+            k: t.grad.reshape((workers,) + params[k].shape) for k, t in tensors.items()
+        }
+        preds = logits.data.argmax(axis=1).reshape(workers, local)
+        accuracy = (preds == ys).mean(axis=1)
+        metrics = [{"accuracy": float(a)} for a in accuracy]
+        return losses, grads, metrics
 
     def predict(self, params: dict[str, np.ndarray], x: np.ndarray) -> np.ndarray:
         tensors = {k: Tensor(v) for k, v in params.items()}

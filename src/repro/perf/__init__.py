@@ -11,6 +11,14 @@ measurement it is pinned to.
 
 from repro.perf.calibration import CALIBRATION, Calibration
 from repro.perf.elastic_cost import ElasticCostReport, account
+from repro.perf.hotpath import (
+    HotPathComparison,
+    HotPathReport,
+    PhaseTimer,
+    compare_hotpaths,
+    measure_steps_per_sec,
+    worker_batches,
+)
 from repro.perf.dawnbench import (
     DawnbenchResult,
     DawnbenchSimulator,
@@ -26,6 +34,12 @@ from repro.perf.timeline import (
 )
 
 __all__ = [
+    "PhaseTimer",
+    "HotPathReport",
+    "HotPathComparison",
+    "measure_steps_per_sec",
+    "compare_hotpaths",
+    "worker_batches",
     "TimelineResult",
     "simulate_backward_overlap",
     "derive_overlap_fraction",

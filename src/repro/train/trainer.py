@@ -11,12 +11,14 @@ run yields both a convergence curve and a simulated wall-clock.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 import numpy as np
 
 from repro.comm.base import CommScheme
+from repro.comm.legacy import legacy_aggregate
 from repro.optim.sgd import SGD
 from repro.utils.partition import (
     flatten_tensors,
@@ -70,6 +72,17 @@ class DistributedTrainer:
         aggregation (default: momentum SGD).
     seed:
         Controls parameter init, shuffling, and MSTopK's random runs.
+    timer:
+        Optional :class:`repro.perf.hotpath.PhaseTimer` (anything with an
+        ``add(phase, seconds)`` method).  When set, each step's
+        ``forward_backward`` / ``fuse`` / ``aggregate`` / ``apply``
+        phases are accumulated; when ``None`` the hot path pays no
+        timing overhead.
+    legacy_hotpath:
+        Route ``train_step`` through the pre-vectorisation reference
+        path (per-worker ``flatten_tensors`` + the per-rank loops of
+        :func:`repro.comm.legacy.legacy_aggregate`).  Kept for parity
+        tests and perf baselining; results are bit-identical.
     """
 
     def __init__(
@@ -79,6 +92,8 @@ class DistributedTrainer:
         optimizer: SGD | None = None,
         *,
         seed: int = 0,
+        timer=None,
+        legacy_hotpath: bool = False,
     ) -> None:
         self.model = model
         self.scheme = scheme
@@ -87,6 +102,27 @@ class DistributedTrainer:
         self._rng = new_rng(seed)
         self.params = model.init_params(new_rng(seed + 1))
         self._param_names = list(self.params.keys())
+        self.timer = timer
+        self.legacy_hotpath = legacy_hotpath
+        # Fused-gradient layout, computed ONCE: every worker produces
+        # gradients with the init-time shapes, so there is no reason to
+        # re-derive the flat layout from ``flatten_tensors`` on every
+        # step for every worker.
+        self._grad_shapes: list[tuple[int, ...]] = [
+            tuple(self.params[name].shape) for name in self._param_names
+        ]
+        sizes = [int(np.prod(shape)) if shape else 1 for shape in self._grad_shapes]
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(int)
+        self.grad_dim = int(offsets[-1])
+        self._grad_slices: list[slice] = [
+            slice(int(offsets[i]), int(offsets[i + 1])) for i in range(len(sizes))
+        ]
+        # Preallocated (W, d) fusion buffer, reused every step: rows are
+        # per-worker fused gradients, handed to the scheme as one matrix.
+        self._grad_matrix = np.zeros((self.world_size, self.grad_dim))
+        # Worker-fused compute: models that can run all workers' batches
+        # through one blocked tape pass advertise loss_and_grad_workers.
+        self._fused_compute = hasattr(model, "loss_and_grad_workers")
 
     # ------------------------------------------------------------------
     def _shard_data(
@@ -98,11 +134,133 @@ class DistributedTrainer:
     def train_step(
         self, batches: Sequence[tuple[np.ndarray, np.ndarray]]
     ) -> tuple[float, dict[str, float]]:
-        """One synchronous step given one batch per worker."""
+        """One synchronous step given one batch per worker.
+
+        Hot path: each worker's gradients are written straight into the
+        preallocated ``(W, d)`` fusion buffer (no per-step concatenation
+        churn) and the scheme aggregates the matrix in one call.
+        """
         if len(batches) != self.world_size:
             raise ValueError(
                 f"need {self.world_size} worker batches, got {len(batches)}"
             )
+        if self.legacy_hotpath:
+            return self._train_step_legacy(batches)
+
+        if self._fused_compute and self._fusable_batches(batches):
+            return self._train_step_fused(batches)
+
+        timer = self.timer
+        tick = time.perf_counter
+        mat = self._grad_matrix
+        losses: list[float] = []
+        metric_sums: dict[str, float] = {}
+        for row, (bx, by) in enumerate(batches):
+            if timer is not None:
+                t0 = tick()
+            loss, grads, metrics = self.model.loss_and_grad(self.params, bx, by)
+            if timer is not None:
+                t1 = tick()
+                timer.add("forward_backward", t1 - t0)
+            out_row = mat[row]
+            for name, sl in zip(self._param_names, self._grad_slices):
+                out_row[sl] = grads[name].reshape(-1)
+            if timer is not None:
+                timer.add("fuse", tick() - t1)
+            losses.append(loss)
+            for key, value in metrics.items():
+                metric_sums[key] = metric_sums.get(key, 0.0) + value
+
+        loss_mean, metrics = self._aggregate_and_apply(losses, metric_sums)
+        return loss_mean, metrics
+
+    def _aggregate_and_apply(
+        self, losses: Sequence[float], metric_sums: dict[str, float]
+    ) -> tuple[float, dict[str, float]]:
+        """Shared step tail: aggregate the fusion buffer, average, apply."""
+        timer = self.timer
+        tick = time.perf_counter
+        if timer is not None:
+            t0 = tick()
+        result = self.scheme.aggregate(self._grad_matrix, rng=self._rng)
+        if timer is not None:
+            t1 = tick()
+            timer.add("aggregate", t1 - t0)
+        mean_flat = result.outputs[0] / self.world_size
+        mean_grads = {
+            name: mean_flat[sl].reshape(shape)
+            for name, sl, shape in zip(
+                self._param_names, self._grad_slices, self._grad_shapes
+            )
+        }
+        self.optimizer.step(self.params, mean_grads)
+        if timer is not None:
+            timer.add("apply", tick() - t1)
+
+        metrics = {k: v / self.world_size for k, v in metric_sums.items()}
+        return float(np.mean(losses)), metrics | {"comm_seconds": result.time}
+
+    @staticmethod
+    def _fusable_batches(batches: Sequence[tuple[np.ndarray, np.ndarray]]) -> bool:
+        """Whether the worker-fused path can take these batches.
+
+        Requires uniform shapes (they stack into one ``(W, B, ...)``
+        block) and no padded labels — the worker-blocked cross-entropy
+        does not support the ``label < 0`` padding convention the
+        sequential per-worker path accepts.
+        """
+        bx0, by0 = batches[0]
+        shape_x = np.shape(bx0)
+        shape_y = np.shape(by0)
+        if not all(
+            np.shape(bx) == shape_x and np.shape(by) == shape_y
+            for bx, by in batches[1:]
+        ):
+            return False
+        for _, by in batches:
+            labels = np.asarray(by)
+            if labels.size and np.issubdtype(labels.dtype, np.number) and labels.min() < 0:
+                return False
+        return True
+
+    def _train_step_fused(
+        self, batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[float, dict[str, float]]:
+        """Worker-fused step: one tape pass for all workers' batches.
+
+        Models exposing ``loss_and_grad_workers`` compute every worker's
+        gradients in a single blocked forward/backward; the per-worker
+        rows land directly in the ``(W, d)`` fusion buffer as one
+        vectorised write per parameter.
+        """
+        timer = self.timer
+        tick = time.perf_counter
+        mat = self._grad_matrix
+        if timer is not None:
+            t0 = tick()
+        xs = np.stack([bx for bx, _ in batches])
+        ys = np.stack([by for _, by in batches])
+        losses, grads, metrics_list = self.model.loss_and_grad_workers(
+            self.params, xs, ys
+        )
+        if timer is not None:
+            t1 = tick()
+            timer.add("forward_backward", t1 - t0)
+        for name, sl in zip(self._param_names, self._grad_slices):
+            mat[:, sl] = grads[name].reshape(self.world_size, -1)
+        if timer is not None:
+            timer.add("fuse", tick() - t1)
+
+        metric_sums: dict[str, float] = {}
+        for metrics in metrics_list:
+            for key, value in metrics.items():
+                metric_sums[key] = metric_sums.get(key, 0.0) + value
+        return self._aggregate_and_apply([float(v) for v in losses], metric_sums)
+
+    def _train_step_legacy(
+        self, batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[float, dict[str, float]]:
+        """The pre-vectorisation step: per-worker flatten + rank loops."""
         worker_flat: list[np.ndarray] = []
         losses: list[float] = []
         metric_sums: dict[str, float] = {}
@@ -115,7 +273,7 @@ class DistributedTrainer:
             for key, value in metrics.items():
                 metric_sums[key] = metric_sums.get(key, 0.0) + value
 
-        result = self.scheme.aggregate(worker_flat, rng=self._rng)
+        result = legacy_aggregate(self.scheme, worker_flat, rng=self._rng)
         mean_flat = result.outputs[0] / self.world_size
         assert shapes is not None
         mean_grads = dict(

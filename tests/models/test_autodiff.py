@@ -7,15 +7,18 @@ from repro.models.autodiff import (
     Tensor,
     avg_pool2d,
     conv2d,
+    conv2d_cnhw,
     embedding,
     exp,
     layer_norm,
+    legacy_conv_kernels,
     log,
     matmul,
     power,
     relu,
     softmax,
     softmax_cross_entropy,
+    softmax_cross_entropy_workers,
     tanh,
     tensor_mean,
     tensor_sum,
@@ -250,9 +253,141 @@ class TestConvPool:
         x = rng.normal(size=(1, 1, 4, 4))
         check_gradient(lambda t: (avg_pool2d(t, 2) * 3.0).sum(), x)
 
+    def test_avg_pool_kernel_one_second_consumer(self, rng):
+        """kernel == 1 pooling must not adopt a read-only grad view."""
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        out = avg_pool2d(x, 1) + x * 2.0  # x has two consumers
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(x.shape, 3.0))
+
     def test_avg_pool_indivisible_rejected(self, rng):
         with pytest.raises(ValueError):
             avg_pool2d(Tensor(rng.normal(size=(1, 1, 5, 5))), 2)
+
+
+class TestVectorizedConvKernels:
+    """The BLAS conv kernels match the pre-vectorisation reference."""
+
+    @pytest.mark.parametrize(
+        "n,c,h,w,oc,k,stride,pad",
+        [
+            (4, 3, 12, 12, 6, 3, 1, 1),
+            (2, 5, 9, 11, 4, 3, 2, 0),
+            (3, 2, 8, 8, 7, 5, 1, 2),
+            (2, 3, 10, 10, 4, 3, 3, 1),
+            (1, 1, 4, 4, 1, 1, 1, 0),
+            (2, 3, 7, 9, 5, 2, 2, 1),
+        ],
+    )
+    def test_matches_legacy_kernels(self, rng, n, c, h, w, oc, k, stride, pad):
+        x_val = rng.normal(size=(n, c, h, w))
+        w_val = rng.normal(size=(oc, c, k, k))
+        out_h = (h + 2 * pad - k) // stride + 1
+        out_w = (w + 2 * pad - k) // stride + 1
+        grad = rng.normal(size=(n, oc, out_h, out_w))
+
+        x1, w1 = Tensor(x_val, requires_grad=True), Tensor(w_val, requires_grad=True)
+        out1 = conv2d(x1, w1, stride=stride, padding=pad)
+        out1.backward(grad)
+        with legacy_conv_kernels():
+            x2 = Tensor(x_val, requires_grad=True)
+            w2 = Tensor(w_val, requires_grad=True)
+            out2 = conv2d(x2, w2, stride=stride, padding=pad)
+            out2.backward(grad)
+        np.testing.assert_allclose(out1.data, out2.data, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(w1.grad, w2.grad, rtol=1e-11, atol=1e-12)
+
+    def test_leaf_input_gradient_skipped(self, rng):
+        """A non-differentiable conv input gets no materialised grad."""
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)), requires_grad=True)
+        conv2d(x, w, padding=1).sum().backward()
+        assert w.grad is not None
+        assert x.grad is None
+
+    def test_chained_conv_input_gradient_flows(self, rng):
+        """Interior conv inputs (required upstream) still get gradients."""
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        conv2d(x, w, padding=1).sum().backward()
+        assert x.grad is not None and x.grad.shape == x.data.shape
+
+    def test_legacy_context_restores_flag(self):
+        from repro.models import autodiff
+
+        assert not autodiff._LEGACY_CONV_KERNELS
+        assert not autodiff.legacy_kernels_active()
+        with legacy_conv_kernels():
+            assert autodiff._LEGACY_CONV_KERNELS
+            assert autodiff.legacy_kernels_active()
+        assert not autodiff._LEGACY_CONV_KERNELS
+
+    @pytest.mark.parametrize(
+        "n,c,h,w,oc,k,stride,pad",
+        [(4, 3, 12, 12, 6, 3, 1, 1), (2, 5, 9, 11, 4, 3, 2, 0), (3, 2, 8, 8, 7, 5, 1, 2)],
+    )
+    def test_cnhw_matches_nchw(self, rng, n, c, h, w, oc, k, stride, pad):
+        """The channel-major conv equals the NCHW conv (transposed I/O)."""
+        x_val = rng.normal(size=(n, c, h, w))
+        w_val = rng.normal(size=(oc, c, k, k))
+        out_h = (h + 2 * pad - k) // stride + 1
+        out_w = (w + 2 * pad - k) // stride + 1
+        grad = rng.normal(size=(n, oc, out_h, out_w))
+
+        x1, w1 = Tensor(x_val, requires_grad=True), Tensor(w_val, requires_grad=True)
+        out1 = conv2d(x1, w1, stride=stride, padding=pad)
+        out1.backward(grad)
+
+        x2 = Tensor(x_val.transpose(1, 0, 2, 3).copy(), requires_grad=True)
+        w2 = Tensor(w_val, requires_grad=True)
+        out2 = conv2d_cnhw(x2, w2, stride=stride, padding=pad)
+        out2.backward(grad.transpose(1, 0, 2, 3))
+
+        np.testing.assert_allclose(
+            out2.data, out1.data.transpose(1, 0, 2, 3), rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            x2.grad, x1.grad.transpose(1, 0, 2, 3), rtol=1e-11, atol=1e-12
+        )
+        np.testing.assert_allclose(w2.grad, w1.grad, rtol=1e-11, atol=1e-12)
+
+    def test_cnhw_rejects_channel_mismatch(self, rng):
+        # Channel-major input has 4 channel rows; the weight expects 2.
+        x = Tensor(rng.normal(size=(4, 2, 6, 6)))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d_cnhw(x, w)
+
+
+class TestWorkerBlockedCrossEntropy:
+    """softmax_cross_entropy_workers equals W sequential CE calls."""
+
+    def test_matches_per_worker_cross_entropy(self, rng):
+        workers, local, classes = 4, 8, 5
+        logits_val = rng.normal(size=(workers * local, classes))
+        labels = rng.integers(0, classes, size=workers * local)
+
+        blocked = Tensor(logits_val, requires_grad=True)
+        node, losses = softmax_cross_entropy_workers(blocked, labels, workers)
+        node.backward()
+
+        for worker in range(workers):
+            rows = slice(worker * local, (worker + 1) * local)
+            single = Tensor(logits_val[rows], requires_grad=True)
+            loss = softmax_cross_entropy(single, labels[rows])
+            loss.backward()
+            assert float(loss.data) == float(losses[worker])
+            np.testing.assert_array_equal(blocked.grad[rows], single.grad)
+
+    def test_rejects_padded_labels_and_bad_shapes(self, rng):
+        logits = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            softmax_cross_entropy_workers(logits, np.array([0, 1, -1, 0, 1, 2, 0, 1]), 2)
+        with pytest.raises(ValueError):
+            softmax_cross_entropy_workers(logits, np.zeros(8, dtype=int), 3)
+        with pytest.raises(ValueError):
+            softmax_cross_entropy_workers(logits, np.zeros(4, dtype=int), 2)
 
 
 class TestEngine:

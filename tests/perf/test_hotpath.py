@@ -1,0 +1,106 @@
+"""Hot-path instrumentation: PhaseTimer and steps/sec measurement."""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import build_cluster, build_scheme, build_workload
+from repro.perf.hotpath import (
+    PhaseTimer,
+    compare_hotpaths,
+    measure_steps_per_sec,
+    worker_batches,
+)
+from repro.train.trainer import DistributedTrainer
+from repro.utils.seeding import new_rng
+
+
+class TestPhaseTimer:
+    def test_add_accumulates_seconds_and_calls(self):
+        timer = PhaseTimer()
+        timer.add("aggregate", 0.25)
+        timer.add("aggregate", 0.75)
+        timer.add("fuse", 0.5)
+        assert timer.summary() == {"aggregate": 1.0, "fuse": 0.5}
+        assert timer.calls == {"aggregate": 2, "fuse": 1}
+        assert timer.total == 1.5
+        assert timer.shares() == {"aggregate": 1.0 / 1.5, "fuse": 0.5 / 1.5}
+
+    def test_phase_context_manager_records(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            sum(range(1000))
+        assert timer.calls["work"] == 1
+        assert timer.seconds["work"] >= 0.0
+
+    def test_reset_and_empty_shares(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.summary() == {}
+        assert timer.shares() == {}
+        assert timer.total == 0.0
+
+
+@pytest.fixture(scope="module")
+def mlp_setup():
+    workload = build_workload("mlp-tiny", num_samples=256, rng=new_rng(1))
+    network = build_cluster("tencent", 2, gpus_per_node=2)
+    batches = worker_batches(workload.x, workload.y, 4, 8)
+    return workload, network, batches
+
+
+class TestMeasurement:
+    def test_measure_steps_per_sec_reports_phases(self, mlp_setup):
+        workload, network, batches = mlp_setup
+        trainer = DistributedTrainer(
+            workload.model, build_scheme("mstopk", network, density=0.05), seed=0
+        )
+        report = measure_steps_per_sec(
+            trainer, batches, steps=4, warmup=1, label="mlp"
+        )
+        assert report.steps == 4
+        assert report.steps_per_sec > 0
+        assert {"forward_backward", "fuse", "aggregate", "apply"} <= set(
+            report.phase_seconds
+        )
+        assert 0.0 <= report.phase_share("aggregate") <= 1.0
+        # The timer handed to the trainer is removed afterwards.
+        assert trainer.timer is None
+
+    def test_measure_validates_steps(self, mlp_setup):
+        workload, network, batches = mlp_setup
+        trainer = DistributedTrainer(
+            workload.model, build_scheme("dense", network), seed=0
+        )
+        with pytest.raises(ValueError):
+            measure_steps_per_sec(trainer, batches, steps=0)
+
+    def test_compare_hotpaths_trains_both_paths_identically(self, mlp_setup):
+        workload, network, batches = mlp_setup
+
+        trainers = {}
+
+        def make(legacy_hotpath):
+            trainer = DistributedTrainer(
+                workload.model,
+                build_scheme("mstopk", network, density=0.05),
+                seed=0,
+                legacy_hotpath=legacy_hotpath,
+            )
+            trainers[legacy_hotpath] = trainer
+            return trainer
+
+        comparison = compare_hotpaths(make, batches, steps=3, warmup=1)
+        assert comparison.vectorized.steps == comparison.legacy.steps == 3
+        assert comparison.speedup > 0
+        # Both paths consumed the same data and stayed bit-identical.
+        for key in trainers[False].params:
+            np.testing.assert_array_equal(
+                trainers[False].params[key], trainers[True].params[key]
+            )
+
+    def test_worker_batches_shapes(self, mlp_setup):
+        workload, _, batches = mlp_setup
+        assert len(batches) == 4
+        for bx, by in batches:
+            assert len(bx) == 8 and len(by) == 8

@@ -1,0 +1,186 @@
+"""Bit-exactness parity: the vectorized hot path vs the legacy loops.
+
+The hot-path engine rewrote every scheme's aggregation, the trainer's
+fusion, and the compression batch paths.  These tests pin all of it to
+the pre-vectorisation reference (`repro.comm.legacy.legacy_aggregate`
+and the trainer's ``legacy_hotpath`` step) — outputs, wire accounting,
+error-feedback residuals, rng streams, losses, and parameters must match
+bit for bit, for every registered scheme, under sync training and under
+elastic world-size changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import build_cluster, build_scheme, build_workload
+from repro.comm.legacy import legacy_aggregate
+from repro.elastic.elastic_trainer import ElasticTrainer
+from repro.elastic.events import ChurnEvent, PoissonChurn, TraceSchedule
+from repro.train.trainer import DistributedTrainer
+from repro.utils.seeding import new_rng
+
+#: The four registered scheme families of the convergence experiments.
+SCHEMES = ("dense", "topk", "gtopk", "mstopk")
+#: Every registered scheme builder (dense variants included).
+ALL_SCHEMES = ("dense", "dense-ring", "2dtar", "topk", "gtopk", "mstopk", "naiveag-mstopk")
+
+
+@pytest.fixture()
+def network():
+    return build_cluster("tencent", 4, gpus_per_node=2)
+
+
+class TestSchemeParity:
+    @pytest.mark.parametrize("name", ALL_SCHEMES)
+    def test_aggregate_bit_identical_over_steps(self, network, name):
+        """Outputs, accounting, EF state, and rng stream all match."""
+        vec = build_scheme(name, network, density=0.05)
+        ref = build_scheme(name, network, density=0.05)
+        rng_data = np.random.default_rng(17)
+        rng_vec, rng_ref = new_rng(5), new_rng(5)
+        for step in range(4):
+            grads = rng_data.standard_normal((8, 863))
+            a = vec.aggregate(grads, rng=rng_vec)
+            b = legacy_aggregate(ref, grads, rng=rng_ref)
+            assert len(a.outputs) == len(b.outputs) == 8
+            for out_a, out_b in zip(a.outputs, b.outputs):
+                np.testing.assert_array_equal(out_a, out_b)
+            assert a.inter_bytes == b.inter_bytes, (name, step)
+            assert a.intra_bytes == b.intra_bytes, (name, step)
+            for key in ("k", "k_tilde", "global_nnz"):
+                assert a.extras.get(key) == b.extras.get(key), (name, step)
+            ef_vec = getattr(vec, "ef", None)
+            ef_ref = getattr(ref, "ef", None)
+            if ef_vec is not None:
+                assert list(ef_vec.keys()) == list(ef_ref.keys())
+                for ef_key in ef_vec.keys():
+                    np.testing.assert_array_equal(
+                        ef_vec.residual(ef_key), ef_ref.residual(ef_key)
+                    )
+        # Identical rng consumption: the next draw must agree.
+        assert rng_vec.integers(0, 1 << 30) == rng_ref.integers(0, 1 << 30)
+
+    @pytest.mark.parametrize("name", SCHEMES)
+    def test_matrix_and_list_inputs_agree(self, network, name):
+        """The (W, d) matrix interface equals the historical list one."""
+        s_mat = build_scheme(name, network, density=0.05)
+        s_list = build_scheme(name, network, density=0.05)
+        grads = np.random.default_rng(23).standard_normal((8, 101))
+        a = s_mat.aggregate(grads, rng=new_rng(1))
+        b = s_list.aggregate(list(grads), rng=new_rng(1))
+        np.testing.assert_array_equal(a.outputs[0], b.outputs[0])
+
+    def test_aggregate_does_not_mutate_input_matrix(self, network):
+        for name in SCHEMES:
+            scheme = build_scheme(name, network, density=0.05)
+            grads = np.random.default_rng(2).standard_normal((8, 64))
+            original = grads.copy()
+            scheme.aggregate(grads, rng=new_rng(0))
+            np.testing.assert_array_equal(grads, original)
+
+    def test_world_size_validation_on_matrix(self, network):
+        scheme = build_scheme("dense", network)
+        with pytest.raises(ValueError):
+            scheme.aggregate(np.zeros((3, 10)))
+
+
+class TestTrainerParity:
+    @pytest.mark.parametrize("workload_name", ["mlp", "cnn"])
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_sync_training_bit_identical(self, network, workload_name, scheme_name):
+        workload = build_workload(workload_name, num_samples=256, rng=new_rng(7))
+        vec = DistributedTrainer(
+            workload.model, build_scheme(scheme_name, network, density=0.05), seed=7
+        )
+        ref = DistributedTrainer(
+            workload.model,
+            build_scheme(scheme_name, network, density=0.05),
+            seed=7,
+            legacy_hotpath=True,
+        )
+        report_vec = vec.train(workload.x, workload.y, epochs=2, local_batch=8)
+        report_ref = ref.train(workload.x, workload.y, epochs=2, local_batch=8)
+        assert report_vec.epoch_losses == report_ref.epoch_losses
+        assert report_vec.epoch_metrics == report_ref.epoch_metrics
+        assert report_vec.comm_seconds == report_ref.comm_seconds
+        for key in vec.params:
+            np.testing.assert_array_equal(vec.params[key], ref.params[key])
+
+    def test_layout_computed_once_and_reused(self, network):
+        workload = build_workload("mlp-tiny", num_samples=64, rng=new_rng(3))
+        trainer = DistributedTrainer(
+            workload.model, build_scheme("dense", network), seed=1
+        )
+        assert trainer.grad_dim == sum(p.size for p in trainer.params.values())
+        assert trainer._grad_matrix.shape == (8, trainer.grad_dim)
+        buffer_before = trainer._grad_matrix
+        batches = [(workload.x[:4], workload.y[:4])] * 8
+        trainer.train_step(batches)
+        trainer.train_step(batches)
+        # The fusion buffer is preallocated once and reused every step.
+        assert trainer._grad_matrix is buffer_before
+
+
+class TestElasticParity:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    def test_elastic_bit_identical_under_churn(self, scheme_name, tmp_path):
+        workload = build_workload("mlp-tiny", num_samples=192, rng=new_rng(5))
+        trace = TraceSchedule(
+            [
+                ChurnEvent(6, "revoke", warned=False),
+                ChurnEvent(13, "join"),
+                ChurnEvent(20, "revoke", warned=True),
+            ]
+        )
+
+        def run(legacy_hotpath, subdir):
+            trainer = ElasticTrainer(
+                workload.model,
+                scheme=scheme_name,
+                density=0.05,
+                num_nodes=3,
+                gpus_per_node=2,
+                min_nodes=1,
+                seed=11,
+                checkpoint_every=5,
+                checkpoint_dir=tmp_path / subdir,
+                legacy_hotpath=legacy_hotpath,
+            )
+            return trainer.run(
+                workload.x, workload.y, iterations=26, local_batch=8, schedule=trace
+            )
+
+        vec = run(False, "vec")
+        ref = run(True, "ref")
+        assert vec.losses == ref.losses
+        assert vec.world_sizes == ref.world_sizes
+        assert vec.useful_iterations == ref.useful_iterations
+        assert vec.rollbacks == ref.rollbacks
+        assert vec.comm_seconds == ref.comm_seconds
+
+    def test_elastic_poisson_churn_parity(self, tmp_path):
+        workload = build_workload("mlp-tiny", num_samples=192, rng=new_rng(5))
+        schedule = PoissonChurn(0.02, warned_fraction=0.5, rejoin_delay=5)
+
+        def run(legacy_hotpath, subdir):
+            trainer = ElasticTrainer(
+                workload.model,
+                scheme="mstopk",
+                density=0.05,
+                num_nodes=4,
+                gpus_per_node=2,
+                min_nodes=1,
+                seed=3,
+                checkpoint_every=4,
+                checkpoint_dir=tmp_path / subdir,
+                legacy_hotpath=legacy_hotpath,
+            )
+            return trainer.run(
+                workload.x, workload.y, iterations=30, local_batch=8, schedule=schedule
+            )
+
+        vec = run(False, "vec")
+        ref = run(True, "ref")
+        assert vec.losses == ref.losses
+        assert vec.world_sizes == ref.world_sizes
+        assert vec.revocations == ref.revocations
