@@ -1,0 +1,63 @@
+"""Multi-tenant scheduler: contention, preemption, and policy comparison.
+
+Runs the canonical mixed queue (comm-light MSTopK ResNet, comm-heavy
+dense VGG, late-arriving high-priority Transformer, single-node top-k
+sweep) under every built-in placement policy on one shared 4x8 virtual
+cluster.  The assertions pin the tentpole behaviours: co-located jobs
+run slower than solo (NIC splitting through the iteration model),
+spreading relieves the comm-heavy tenant, and the high-priority arrival
+preempts via elastic membership scale events.
+"""
+
+from repro.experiments.multi_tenant import DEFAULT_POLICIES, run
+from repro.sched.scheduler import PAYLOAD_COLUMNS, payload_for_reports
+
+
+def sweep():
+    return run(policies=DEFAULT_POLICIES)
+
+
+def test_bench_sched(benchmark, save_result):
+    reports = benchmark(sweep)
+
+    payload = payload_for_reports(list(reports.values()), bench="sched_multi_tenant")
+    save_result(
+        "sched_multi_tenant",
+        payload["text"],
+        columns=PAYLOAD_COLUMNS,
+        rows=payload["rows"],
+        meta=payload["meta"],
+    )
+
+    by_job = {
+        policy: {o.job: o for o in report.jobs} for policy, report in reports.items()
+    }
+    # Everything completes under every policy.
+    for policy, jobs in by_job.items():
+        for outcome in jobs.values():
+            assert outcome.status == "done", (policy, outcome.job)
+            assert outcome.cost_usd > 0
+
+    # Contention: bin-packing co-locates the dense VGG with a neighbour,
+    # so it runs measurably slower than solo; spreading relieves it.
+    vgg_packed = by_job["bin-pack"]["vgg-batch"]
+    vgg_spread = by_job["spread"]["vgg-batch"]
+    assert vgg_packed.contention_slowdown > 1.02
+    assert vgg_spread.contention_slowdown < vgg_packed.contention_slowdown
+
+    # Placement alone moves the cluster: spreading this queue beats
+    # packing on makespan and total dollars.
+    assert reports["spread"].makespan_s < reports["bin-pack"].makespan_s
+    assert reports["spread"].total_cost_usd <= reports["bin-pack"].total_cost_usd
+
+    # Priority preemption: the late on-demand Transformer (priority 2)
+    # shrinks a lower-priority tenant through its membership view, and
+    # still makes its deadline.
+    for policy, report in reports.items():
+        xfmr = by_job[policy]["xfmr-deadline"]
+        assert xfmr.deadline_met is True, policy
+        shrunk = [o for o in report.jobs if o.shrinks > 0]
+        assert shrunk, f"{policy}: nobody was preempted for the transformer"
+        for outcome in shrunk:
+            assert outcome.priority < xfmr.priority
+            assert outcome.membership_epochs >= outcome.shrinks

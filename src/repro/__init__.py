@@ -19,7 +19,11 @@ cluster substrate:
   harness per paper table/figure;
 * :mod:`repro.elastic` — preemption-aware elastic training over the
   same substrate: churn schedules, membership epochs, checkpoint
-  rollback, and spot-market cost accounting.
+  rollback, and spot-market cost accounting;
+* :mod:`repro.sched` — multi-tenant scheduling of many jobs on one
+  shared cluster: pluggable placement policies, NIC-contention-aware
+  throughput, priority preemption and autoscaling through the elastic
+  membership machinery.
 
 Quickstart::
 
@@ -64,6 +68,7 @@ from repro.compression import (
 from repro.data import CachedDataLoader, DataCache, SyntheticImageDataset
 from repro.elastic import ElasticTrainer, MembershipView, PoissonChurn
 from repro.models import resnet50_profile, transformer_profile, vgg19_profile
+from repro.sched import JobSpec, MultiTenantScheduler, register_policy
 from repro.optim import LAMB, LARS, SGD
 from repro.pto import ParallelTensorOperator, lars_learning_rates_pto
 from repro.train import ConvergenceRunner, DistributedTrainer, make_scheme
@@ -119,6 +124,10 @@ __all__ = [
     "ElasticTrainer",
     "MembershipView",
     "PoissonChurn",
+    # sched
+    "JobSpec",
+    "MultiTenantScheduler",
+    "register_policy",
     # models
     "resnet50_profile",
     "vgg19_profile",

@@ -26,11 +26,14 @@ from repro.api.config import (
     CommConfig,
     ConfigError,
     ElasticConfig,
+    JobConfig,
     RunConfig,
+    SchedConfig,
     TrainConfig,
     apply_overrides,
+    apply_sched_overrides,
 )
-from repro.api.facade import RunReport, preflight, run
+from repro.api.facade import RunReport, preflight, run, run_sched
 from repro.api.registry import (
     CLUSTERS,
     COMPRESSORS,
@@ -57,10 +60,14 @@ __all__ = [
     "CommConfig",
     "TrainConfig",
     "ElasticConfig",
+    "JobConfig",
+    "SchedConfig",
     "ConfigError",
     "apply_overrides",
+    "apply_sched_overrides",
     # facade
     "run",
+    "run_sched",
     "preflight",
     "RunReport",
     # registry

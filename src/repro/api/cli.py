@@ -3,12 +3,16 @@
 Subcommands::
 
     repro run --config cfg.json [--set key=value ...] [--json] [--out PATH]
-    repro list [schemes|compressors|models|clusters|experiments]
+    repro sched --config cfg.json [--set key=value ...] [--json] [--out PATH]
+    repro list [schemes|compressors|models|clusters|policies|experiments]
     repro experiments [--only SUBSTR] [--fast]
 
 ``run`` executes one declarative :class:`~repro.api.config.RunConfig`;
-``list`` enumerates the registries (and the experiment harnesses);
-``experiments`` delegates to :mod:`repro.experiments.runner`.
+``sched`` simulates a multi-tenant
+:class:`~repro.api.config.SchedConfig` scenario (one run per configured
+placement policy); ``list`` enumerates the registries (and the
+experiment harnesses); ``experiments`` delegates to
+:mod:`repro.experiments.runner`.
 """
 
 from __future__ import annotations
@@ -19,11 +23,23 @@ import pathlib
 import sys
 
 from repro.api import registry
-from repro.api.config import RunConfig, apply_overrides
-from repro.api.facade import preflight
+from repro.api.config import (
+    RunConfig,
+    SchedConfig,
+    apply_overrides,
+    apply_sched_overrides,
+)
+from repro.api.facade import preflight, run_sched
 from repro.api.facade import run as run_facade
 
-LIST_GROUPS = ("schemes", "compressors", "models", "clusters", "experiments")
+LIST_GROUPS = (
+    "schemes",
+    "compressors",
+    "models",
+    "clusters",
+    "policies",
+    "experiments",
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +70,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH", help="also write the JSON payload here"
     )
 
+    sched_p = sub.add_parser(
+        "sched", help="simulate a multi-tenant scheduling scenario"
+    )
+    sched_p.add_argument(
+        "--config", required=True, help="path to a SchedConfig JSON file"
+    )
+    sched_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a config entry, e.g. --set jobs.0.priority=5 "
+        "(repeatable; dotted paths; numeric segments index lists)",
+    )
+    sched_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH-schema JSON payload instead of the table",
+    )
+    sched_p.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON payload here"
+    )
+
     list_p = sub.add_parser("list", help="enumerate registered components")
     list_p.add_argument(
         "group", nargs="?", default=None, choices=LIST_GROUPS,
@@ -80,11 +120,14 @@ def _registry_lines(reg: registry.Registry) -> list[str]:
 
 
 def _cmd_list(group: str | None) -> int:
+    from repro.sched.policies import POLICIES
+
     registries = {
         "schemes": registry.SCHEMES,
         "compressors": registry.COMPRESSORS,
         "models": registry.MODELS,
         "clusters": registry.CLUSTERS,
+        "policies": POLICIES,
     }
     groups = (group,) if group else LIST_GROUPS
     for i, name in enumerate(groups):
@@ -127,6 +170,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    # Same error contract as `run`: user mistakes exit 2 with one line,
+    # anything past validation is a real bug and keeps its traceback.
+    from repro.sched import payload_for_reports
+
+    try:
+        config = SchedConfig.from_file(args.config)
+        if args.overrides:
+            config = apply_sched_overrides(config, args.overrides)
+        reports = run_sched(config)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = payload_for_reports(
+        list(reports.values()), bench=f"sched_{config.name}"
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(payload["text"], end="")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"[payload written to {out}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -135,6 +207,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sched":
+        return _cmd_sched(args)
     if args.command == "list":
         return _cmd_list(args.group)
     if args.command == "experiments":

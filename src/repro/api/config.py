@@ -46,8 +46,13 @@ def _from_dict(section: str, data: Any, cls):
 class ClusterConfig:
     """Virtual cluster shape: a registered instance preset and node count."""
 
+    #: Registered cluster preset name or alias (``python -m repro list
+    #: clusters``); built-ins: ``aws`` / ``aliyun`` / ``tencent``.
     instance: str = "tencent"
+    #: Number of nodes (whole cloud instances), >= 1.
     num_nodes: int = 2
+    #: GPUs per node, >= 1 (overrides the preset's count — presets model
+    #: 8xV100 instances, small simulations usually want 2).
     gpus_per_node: int = 2
 
 
@@ -55,11 +60,20 @@ class ClusterConfig:
 class CommConfig:
     """Gradient aggregation: registered scheme (+ optional compressor)."""
 
+    #: Registered comm-scheme name or alias (``python -m repro list
+    #: schemes``); built-ins: ``dense`` / ``dense-ring`` / ``2dtar`` /
+    #: ``topk`` / ``gtopk`` / ``mstopk`` / ``naiveag-mstopk``.
     scheme: str = "mstopk"
+    #: Top-k sparsity rho in (0, 1] (fraction of gradient entries sent);
+    #: ignored by the dense schemes.
     density: float = 0.05
+    #: Bytes per wire element for dense traffic (4 = FP32, 2 = FP16).
     wire_bytes: int = 4
+    #: MSTopK sampling iterations (Algorithm 1's threshold search).
     n_samplings: int = 30
-    #: Optional registered compressor name overriding the scheme default.
+    #: Optional registered compressor name (``python -m repro list
+    #: compressors``) overriding the scheme default; dense schemes
+    #: reject one at build time.
     compressor: str | None = None
 
 
@@ -72,11 +86,20 @@ class TrainConfig:
     applies exactly the values written in it.
     """
 
+    #: Registered model workload name or alias (``python -m repro list
+    #: models``); built-ins: ``mlp`` / ``mlp-tiny`` / ``cnn`` /
+    #: ``resnet`` / ``transformer``.
     model: str = "mlp"
+    #: Training epochs (synchronous runs only; elastic runs are
+    #: iteration-driven via ``elastic.iterations``), >= 1.
     epochs: int = 5
+    #: Synthetic dataset size in samples, >= 1.
     num_samples: int = 512
+    #: Per-worker batch size, >= 1 (global batch = local_batch x world).
     local_batch: int = 16
+    #: SGD learning rate.
     lr: float = 0.05
+    #: SGD momentum coefficient in [0, 1).
     momentum: float = 0.9
     #: Seed for dataset synthesis; defaults to the run seed, so one seed
     #: fixes everything while sweeps can pin the data and vary the rest.
@@ -92,18 +115,31 @@ class ElasticConfig:
     governs run length); absent ⇒ the synchronous epoch-driven trainer.
     """
 
+    #: Useful training iterations to complete, >= 1.
     iterations: int = 120
-    schedule: str = "poisson"  # "poisson" | "none"
+    #: Churn schedule: ``poisson`` (memoryless spot revocations) or
+    #: ``none`` (static cluster); see :data:`ELASTIC_SCHEDULES`.
+    schedule: str = "poisson"
+    #: Expected revocations per node per iteration, >= 0.
     rate: float = 0.01
+    #: Share of revocations arriving with the advance warning, in [0, 1].
     warned_fraction: float = 0.5
+    #: Mean iterations until a replacement node arrives (0 = no backfill).
     rejoin_delay: int = 20
+    #: Floor the cluster never shrinks below, in [1, cluster.num_nodes].
     min_nodes: int = 1
+    #: Useful iterations between periodic rollback checkpoints, >= 1.
     checkpoint_every: int = 25
+    #: Virtual forward+backward seconds per iteration at spec speed.
     compute_seconds: float = 0.05
+    #: Virtual seconds to write one checkpoint.
     checkpoint_seconds: float = 1.0
+    #: Virtual seconds for a rescale/restore cycle.
     restart_seconds: float = 15.0
+    #: Advance-warning window in seconds (the two-minute warning).
     warning_seconds: float = 120.0
-    #: Gradient size for the analytic comm-time model (None = actual).
+    #: Gradient size (elements) for the analytic comm-time model
+    #: (None = the model's actual parameter count).
     timing_d: int | None = None
     #: Straggler lognormal sigma (0 disables the variability model).
     sigma: float = 0.0
@@ -118,7 +154,9 @@ ELASTIC_SCHEDULES = ("poisson", "none")
 class RunConfig:
     """Everything one run needs, serializable and seed-complete."""
 
+    #: Run label (non-empty); becomes the ``run_<name>`` bench id.
     name: str = "run"
+    #: Master seed fixing data synthesis, init, sampling and churn.
     seed: int = 0
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     comm: CommConfig = field(default_factory=CommConfig)
@@ -228,6 +266,190 @@ class RunConfig:
         return self
 
 
+# ---------------------------------------------------------------------------
+# Multi-tenant scheduling configs (repro.sched)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One schedulable job of a :class:`SchedConfig` scenario.
+
+    The scalar mirror of :class:`repro.sched.JobSpec`; see that class
+    for full semantics.  Validation happens by constructing the spec.
+    """
+
+    #: Unique job identifier within the scenario.
+    name: str = "job"
+    #: Workload profile: ``resnet50`` / ``vgg19`` / ``transformer``
+    #: (:data:`repro.models.profiles.PROFILES`).
+    profile: str = "resnet50"
+    #: Registered comm-scheme name or alias (``python -m repro list
+    #: schemes``); timed via its Table 3 archetype.
+    scheme: str = "mstopk"
+    #: Top-k sparsity rho in (0, 1] for the sparse schemes.
+    density: float = 0.01
+    #: Input resolution in pixels (None = 224 when calibrated, else the
+    #: profile's reference; 0 for the Transformer).
+    resolution: int | None = None
+    #: Per-GPU batch (None = the profile's default).
+    local_batch: int | None = None
+    #: Iterations of work to complete, >= 1.
+    iterations: int = 200
+    #: Placement priority; higher may shrink strictly-lower ones.
+    priority: int = 0
+    #: Completion deadline in seconds after arrival (None = none).
+    deadline_seconds: float | None = None
+    #: Billing: ``spot`` (discounted) or ``on-demand`` (full price).
+    preference: str = "spot"
+    #: Elastic allocation window in whole nodes, 1 <= min <= max.
+    min_nodes: int = 1
+    max_nodes: int = 2
+    #: GPUs used on each allocated node (None = the whole node); smaller
+    #: slices let jobs co-locate and contend for the NIC.
+    gpus_per_node: int | None = None
+    #: Submission time on the virtual clock, seconds >= 0.
+    arrival_seconds: float = 0.0
+
+    def to_spec(self):
+        """Build the runtime :class:`repro.sched.JobSpec` (validates)."""
+        from repro.sched.job import JobSpec
+
+        try:
+            return JobSpec(**dataclasses.asdict(self))
+        except (ValueError, KeyError) as exc:
+            raise ConfigError(f"job {self.name!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """A multi-tenant scheduling scenario: shared cluster + job queue.
+
+    ``python -m repro sched --config <file>`` runs the scenario once per
+    entry in ``policies`` and emits one combined BENCH payload, so a
+    single config file is a policy comparison.
+    """
+
+    #: Scenario label (non-empty); becomes the ``sched_<name>`` bench id.
+    name: str = "sched"
+    #: Recorded for provenance; the simulation is deterministic.
+    seed: int = 0
+    #: The shared cluster all jobs contend for.
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: Registered placement policies to compare (``python -m repro list
+    #: policies``); built-ins: ``bin-pack`` / ``spread`` /
+    #: ``network-aware``.
+    policies: tuple = ("bin-pack",)
+    #: The job queue (>= 1 job; names unique).
+    jobs: tuple = (JobConfig(),)
+
+    @classmethod
+    def from_dict(cls, data: dict, *, validate: bool = True) -> "SchedConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"sched config must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys("sched", data, cls)
+        kwargs: dict[str, Any] = {k: data[k] for k in ("name", "seed") if k in data}
+        if "cluster" in data:
+            kwargs["cluster"] = _from_dict("cluster", data["cluster"], ClusterConfig)
+        if "policies" in data:
+            policies = data["policies"]
+            if isinstance(policies, str):
+                policies = [policies]
+            if not isinstance(policies, (list, tuple)):
+                raise ConfigError("'policies' must be a list of policy names")
+            kwargs["policies"] = tuple(policies)
+        if "jobs" in data:
+            jobs = data["jobs"]
+            if not isinstance(jobs, (list, tuple)):
+                raise ConfigError("'jobs' must be a list of job mappings")
+            kwargs["jobs"] = tuple(
+                _from_dict(f"jobs[{i}]", job, JobConfig) for i, job in enumerate(jobs)
+            )
+        config = cls(**kwargs)
+        if validate:
+            config.validate()
+        return config
+
+    @classmethod
+    def from_json(cls, text: str, *, validate: bool = True) -> "SchedConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON sched config: {exc}") from exc
+        return cls.from_dict(data, validate=validate)
+
+    @classmethod
+    def from_file(
+        cls, path: str | pathlib.Path, *, validate: bool = True
+    ) -> "SchedConfig":
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise ConfigError(f"config file not found: {path}")
+        return cls.from_json(path.read_text(), validate=validate)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": dataclasses.asdict(self.cluster),
+            "policies": list(self.policies),
+            "jobs": [dataclasses.asdict(job) for job in self.jobs],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def validate(self) -> "SchedConfig":
+        from repro.api import registry
+
+        if not self.name:
+            raise ConfigError("sched 'name' must be a non-empty string")
+        if self.cluster.instance not in registry.CLUSTERS:
+            raise ConfigError(
+                f"unknown cluster instance {self.cluster.instance!r}; "
+                f"registered: {', '.join(registry.CLUSTERS.available())}"
+            )
+        if self.cluster.num_nodes < 1 or self.cluster.gpus_per_node < 1:
+            raise ConfigError("cluster num_nodes and gpus_per_node must be >= 1")
+        if not self.policies:
+            raise ConfigError("sched 'policies' must name at least one policy")
+        from repro.sched.policies import POLICIES
+
+        for policy in self.policies:
+            if policy not in POLICIES:
+                raise ConfigError(
+                    f"unknown policy {policy!r}; "
+                    f"registered: {', '.join(POLICIES.available())}"
+                )
+        canonical = [POLICIES.canonical(p) for p in self.policies]
+        duplicates = sorted({p for p in canonical if canonical.count(p) > 1})
+        if duplicates:
+            raise ConfigError(
+                f"policies resolve to duplicate entries: {', '.join(duplicates)}"
+            )
+        if not self.jobs:
+            raise ConfigError("sched 'jobs' must contain at least one job")
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"job names must be unique, got {sorted(names)}")
+        for job in self.jobs:
+            spec = job.to_spec()  # field-level validation
+            if spec.min_nodes > self.cluster.num_nodes:
+                raise ConfigError(
+                    f"job {job.name!r} needs {spec.min_nodes} nodes, cluster "
+                    f"has {self.cluster.num_nodes}"
+                )
+            gpus = spec.gpus_per_node
+            if gpus is not None and gpus > self.cluster.gpus_per_node:
+                raise ConfigError(
+                    f"job {job.name!r} wants {gpus} GPUs/node on "
+                    f"{self.cluster.gpus_per_node}-GPU nodes"
+                )
+        return self
+
+
 def _parse_override_value(raw: str) -> Any:
     try:
         return json.loads(raw)
@@ -235,14 +457,13 @@ def _parse_override_value(raw: str) -> Any:
         return raw  # bare strings need no quoting: --set comm.scheme=dense
 
 
-def apply_overrides(config: RunConfig, overrides: Sequence[str]) -> RunConfig:
-    """Apply ``section.key=value`` overrides and re-validate.
+def _apply_overrides_data(data: dict, overrides: Sequence[str]) -> dict:
+    """Apply dotted-path overrides to a config dict (shared helper).
 
-    ``--set elastic.rate=0.02`` on a non-elastic config materialises a
-    default :class:`ElasticConfig` first, so any run can be made elastic
-    from the command line.
+    Numeric path segments index into lists (``--set jobs.0.priority=5``);
+    ``elastic`` materialises as an empty section on first touch so any
+    run config can be made elastic from the command line.
     """
-    data = config.to_dict()
     for item in overrides:
         if "=" not in item:
             raise ConfigError(f"override {item!r} is not of the form key=value")
@@ -254,13 +475,52 @@ def apply_overrides(config: RunConfig, overrides: Sequence[str]) -> RunConfig:
         for i, key in enumerate(keys[:-1]):
             if key == "elastic" and node is data and data.get("elastic") is None:
                 data["elastic"] = {}
-            if not isinstance(node.get(key), dict):
+            if isinstance(node, list):
+                if not key.isdigit() or int(key) >= len(node):
+                    raise ConfigError(
+                        f"override {item!r}: {'.'.join(keys[: i + 1])!r} is not a "
+                        f"valid list index (list has {len(node)} entries)"
+                    )
+                node = node[int(key)]
+                continue
+            if not isinstance(node, dict) or not isinstance(node.get(key), (dict, list)):
                 raise ConfigError(
                     f"override {item!r}: {'.'.join(keys[: i + 1])!r} is not a section"
                 )
             node = node[key]
-        node[keys[-1]] = _parse_override_value(raw.strip())
-    return RunConfig.from_dict(data)
+        last = keys[-1]
+        value = _parse_override_value(raw.strip())
+        if isinstance(node, list):
+            if not last.isdigit() or int(last) >= len(node):
+                raise ConfigError(
+                    f"override {item!r}: {last!r} is not a valid list index "
+                    f"(list has {len(node)} entries)"
+                )
+            node[int(last)] = value
+        else:
+            node[last] = value
+    return data
+
+
+def apply_overrides(config: RunConfig, overrides: Sequence[str]) -> RunConfig:
+    """Apply ``section.key=value`` overrides and re-validate.
+
+    ``--set elastic.rate=0.02`` on a non-elastic config materialises a
+    default :class:`ElasticConfig` first, so any run can be made elastic
+    from the command line.
+    """
+    return RunConfig.from_dict(_apply_overrides_data(config.to_dict(), overrides))
+
+
+def apply_sched_overrides(
+    config: SchedConfig, overrides: Sequence[str]
+) -> SchedConfig:
+    """Apply dotted overrides to a sched config and re-validate.
+
+    List entries address by index: ``--set jobs.0.priority=5``,
+    ``--set policies.1=spread``.
+    """
+    return SchedConfig.from_dict(_apply_overrides_data(config.to_dict(), overrides))
 
 
 __all__ = [
@@ -271,5 +531,8 @@ __all__ = [
     "ElasticConfig",
     "ELASTIC_SCHEDULES",
     "RunConfig",
+    "JobConfig",
+    "SchedConfig",
     "apply_overrides",
+    "apply_sched_overrides",
 ]

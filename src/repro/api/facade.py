@@ -266,4 +266,27 @@ def run(config: RunConfig) -> RunReport:
     return _run_train(config, workload)
 
 
-__all__ = ["run", "preflight", "RunReport", "BENCH_SCHEMA_VERSION"]
+def run_sched(config) -> dict:
+    """Execute a :class:`~repro.api.config.SchedConfig` scenario.
+
+    Runs the job queue once per configured placement policy over the
+    shared virtual cluster and returns ``policy -> SchedReport``
+    (insertion-ordered as configured).  Combine into one BENCH payload
+    with :func:`repro.sched.payload_for_reports`.
+    """
+    from repro.sched import compare_policies
+
+    config.validate()
+    jobs = [job.to_spec() for job in config.jobs]
+    return compare_policies(
+        jobs,
+        config.policies,
+        num_nodes=config.cluster.num_nodes,
+        instance=config.cluster.instance,
+        gpus_per_node=config.cluster.gpus_per_node,
+        seed=config.seed,
+        name=config.name,
+    )
+
+
+__all__ = ["run", "run_sched", "preflight", "RunReport", "BENCH_SCHEMA_VERSION"]

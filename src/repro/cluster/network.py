@@ -71,6 +71,28 @@ class NetworkModel:
             raise ValueError(f"streams must be >= 1, got {streams}")
         return self.inter.scaled(1.0 / streams)
 
+    def contended(self, tenants: float) -> "NetworkModel":
+        """This cluster as seen by one of ``tenants`` co-located jobs.
+
+        Multi-tenant clusters share node NICs *between jobs* on top of the
+        intra-job stream sharing above: when ``tenants`` jobs keep flows in
+        flight on the same node, fair queueing gives each job ``1/tenants``
+        of the NIC.  NVLink inside the node is partitioned with the GPUs,
+        so only the inter-node link degrades.  ``tenants=1`` returns
+        ``self`` unchanged (the solo baseline); fractional values model
+        time-averaged sharing (e.g. a neighbour that communicates half the
+        time is ~1.5 effective tenants).
+        """
+        if tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {tenants}")
+        if tenants == 1:
+            return self
+        return NetworkModel(
+            topology=self.topology,
+            intra=self.intra,
+            inter=self.inter.scaled(1.0 / tenants),
+        )
+
     # -- point-to-point ---------------------------------------------------------
     def p2p_time(self, rank_a: int, rank_b: int, nbytes: float) -> float:
         """Point-to-point transfer time between two GPUs."""

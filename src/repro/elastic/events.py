@@ -146,6 +146,42 @@ class TraceSchedule:
     def __init__(self, events: Sequence[ChurnEvent]) -> None:
         self.events = sorted(events, key=lambda e: e.iteration)
 
+    @classmethod
+    def from_deltas(
+        cls, waypoints: Sequence[tuple[int, int]], *, warned: bool = True
+    ) -> "TraceSchedule":
+        """Build a trace from ``(iteration, node_count)`` waypoints.
+
+        The first waypoint fixes the starting size; each later one emits
+        the joins/revocations needed to reach its count at its iteration.
+        This is how scheduler-driven allocations (``repro.sched`` records
+        every grow/shrink as a waypoint) become a replayable churn trace:
+        scheduler decisions are announced ahead of time, so revocations
+        default to ``warned`` (no lost work — flip for surprise-style
+        replay).  Waypoint iterations must be non-decreasing.
+        """
+        if not waypoints:
+            raise ValueError("waypoints must be non-empty")
+        events: list[ChurnEvent] = []
+        prev_iteration, prev_count = waypoints[0]
+        if prev_count < 1:
+            raise ValueError(f"node counts must be >= 1, got {prev_count}")
+        for iteration, count in waypoints[1:]:
+            if iteration < prev_iteration:
+                raise ValueError(
+                    f"waypoint iterations must be non-decreasing, got "
+                    f"{iteration} after {prev_iteration}"
+                )
+            if count < 1:
+                raise ValueError(f"node counts must be >= 1, got {count}")
+            kind = JOIN if count > prev_count else REVOKE
+            for _ in range(abs(count - prev_count)):
+                events.append(
+                    ChurnEvent(iteration, kind, warned=warned and kind == REVOKE)
+                )
+            prev_iteration, prev_count = iteration, count
+        return cls(events)
+
     def generate(
         self, horizon: int, num_nodes: int, rng: RandomState | None = None
     ) -> list[ChurnEvent]:

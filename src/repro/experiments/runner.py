@@ -20,6 +20,7 @@ from repro.experiments import (
     fig8_hitopk_breakdown,
     fig9_datacache,
     fig10_convergence,
+    multi_tenant,
     pto_speedup,
     table1_instances,
     table2_validation,
@@ -42,11 +43,12 @@ EXPERIMENTS = (
     ("Table 4", table4_resolutions.main),
     ("Table 5", table5_dawnbench.main),
     ("Elastic churn", elastic_churn.main),
+    ("Multi-tenant sched", multi_tenant.main),
 )
 
 #: Harnesses whose ``main`` accepts ``fast=True`` to trim expensive
 #: sweeps; the rest already run in seconds.
-FAST_AWARE = ("Fig. 6", "Fig. 10", "Elastic churn")
+FAST_AWARE = ("Fig. 6", "Fig. 10", "Elastic churn", "Multi-tenant sched")
 
 
 def main(argv: list[str] | None = None) -> int:

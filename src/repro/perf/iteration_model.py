@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.cluster.gpu import exact_topk_gpu_time, mstopk_gpu_time
+from repro.cluster.gpu import exact_topk_gpu_time
 from repro.cluster.network import NetworkModel
 from repro.comm.breakdown import TimeBreakdown
 from repro.comm.dense import Torus2DAllReduce, TreeAllReduce
@@ -95,6 +95,13 @@ class IterationModel:
         Sparsity ρ for the top-k schemes.
     use_datacache / use_pto:
         The §4 optimisations; the Dense-SGD baseline disables both.
+    contention:
+        Number of co-located jobs sharing this job's node NICs (>= 1).
+        Values above 1 split the inter-node link capacity via
+        :meth:`~repro.cluster.network.NetworkModel.contended`, so the
+        communication (and PTO) terms stretch while compute, I/O and
+        compression stay solo — the multi-tenant degradation model used
+        by :mod:`repro.sched`.
     """
 
     network: NetworkModel
@@ -108,12 +115,20 @@ class IterationModel:
     use_pto: bool = True
     pipeline_workers: int = CALIBRATION.pipeline_workers_system
     cal: Calibration = CALIBRATION
+    contention: float = 1.0
 
     def __post_init__(self) -> None:
         if self.local_batch < 1:
             raise ValueError(f"local_batch must be >= 1, got {self.local_batch}")
+        if self.contention < 1:
+            raise ValueError(f"contention must be >= 1, got {self.contention}")
         if isinstance(self.scheme, str):
             self.scheme = SchemeKind(self.scheme)
+
+    @property
+    def contended_network(self) -> NetworkModel:
+        """The cluster as this job sees it: NIC capacity split by tenants."""
+        return self.network.contended(self.contention)
 
     # -- components -------------------------------------------------------
     @property
@@ -128,21 +143,21 @@ class IterationModel:
 
     def _comm_scheme(self):
         cal = self.cal
-        d = self.profile.num_params
+        network = self.contended_network
         if self.scheme is SchemeKind.DENSE_TREE:
-            return TreeAllReduce(self.network, wire_bytes=cal.dense_baseline_wire_bytes)
+            return TreeAllReduce(network, wire_bytes=cal.dense_baseline_wire_bytes)
         if self.scheme is SchemeKind.DENSE_2DTAR:
-            return Torus2DAllReduce(self.network, wire_bytes=cal.commlib_wire_bytes)
+            return Torus2DAllReduce(network, wire_bytes=cal.commlib_wire_bytes)
         if self.scheme is SchemeKind.TOPK_NAIVE:
             return NaiveAllGather(
-                self.network,
+                network,
                 density=self.density,
                 value_bytes=cal.sparse_value_bytes,
                 index_bytes=cal.sparse_index_bytes,
                 error_feedback=False,
             )
         return HiTopKComm(
-            self.network,
+            network,
             density=self.density,
             value_bytes=cal.sparse_value_bytes,
             index_bytes=cal.sparse_index_bytes,
@@ -175,7 +190,9 @@ class IterationModel:
         pto = PTOCostModel(kernels_per_layer=self.profile.lars_kernels_per_layer)
         sizes = self.profile.layer_sizes
         if self.use_pto:
-            return pto.pto_time(sizes, self.network)
+            # PTO's partitioned all-reduce crosses the same shared NIC,
+            # so it sees the contended link too.
+            return pto.pto_time(sizes, self.contended_network)
         return pto.serial_time(sizes)
 
     def t_io(self) -> float:

@@ -1,0 +1,257 @@
+"""Job specifications and runtime records for the multi-tenant scheduler.
+
+A :class:`JobSpec` is everything the scheduler needs to know about one
+tenant: the *workload shape* (a calibrated
+:class:`~repro.models.profiles.ModelProfile` plus scheme/density/batch,
+which the Fig. 1 :class:`~repro.perf.iteration_model.IterationModel`
+turns into a per-iteration time), the *resource window* (``min_nodes`` /
+``max_nodes`` / ``gpus_per_node`` — the elastic range the autoscaler may
+move the job within), and the *policy inputs* (priority, deadline,
+spot/on-demand preference, arrival time).
+
+:class:`JobRecord` is the scheduler's mutable per-job state: the current
+node allocation, progress, cost integrals, and — crucially — a
+:class:`~repro.elastic.membership.MembershipView` driven through every
+grow/shrink, so scheduler decisions run the *same* membership-epoch
+machinery elastic training uses, and
+:meth:`JobRecord.to_trace_schedule` can replay the allocation history
+through an actual :class:`~repro.elastic.ElasticTrainer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elastic.events import TraceSchedule
+from repro.elastic.membership import MembershipView
+from repro.models.profiles import ModelProfile, get_profile
+from repro.perf.iteration_model import SchemeKind
+
+#: Accepted billing preferences.
+PREFERENCES = ("spot", "on-demand")
+
+#: Registry scheme name -> IterationModel scheme kind.  The iteration
+#: model knows the four Table 3 aggregation archetypes; the remaining
+#: registered schemes map onto the archetype with the same traffic
+#: pattern (gTop-k and naiveag-mstopk move sparse blocks over a flat
+#: All-Gather like TopK-SGD; a dense ring prices like the dense tree at
+#: these sizes).  Scheduling accepts *any* registered scheme name and
+#: degrades it through the matching archetype.
+SCHEME_KINDS: dict[str, SchemeKind] = {
+    "dense": SchemeKind.DENSE_TREE,
+    "dense-ring": SchemeKind.DENSE_TREE,
+    "2dtar": SchemeKind.DENSE_2DTAR,
+    "topk": SchemeKind.TOPK_NAIVE,
+    "gtopk": SchemeKind.TOPK_NAIVE,
+    "naiveag-mstopk": SchemeKind.TOPK_NAIVE,
+    "mstopk": SchemeKind.MSTOPK_HIER,
+}
+
+
+def scheme_kind_of(scheme: str) -> SchemeKind:
+    """Map a registered comm-scheme name/alias to its timing archetype."""
+    from repro.api.registry import SCHEMES
+
+    canonical = SCHEMES.canonical(scheme)
+    if canonical is None:
+        raise KeyError(
+            f"unknown scheme {scheme!r}; registered: {', '.join(SCHEMES.available())}"
+        )
+    if canonical in SCHEME_KINDS:
+        return SCHEME_KINDS[canonical]
+    # A scheme registered after this table was written: price it as the
+    # flat sparse archetype (the conservative choice on cloud Ethernet).
+    return SchemeKind.TOPK_NAIVE
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable training job.
+
+    Parameters
+    ----------
+    name:
+        Unique job identifier.
+    profile:
+        Workload profile name (``resnet50`` / ``vgg19`` / ``transformer``,
+        resolved through :func:`repro.models.profiles.get_profile`).
+    scheme:
+        Registered comm-scheme name (any ``repro.api`` registry name or
+        alias); timed via :data:`SCHEME_KINDS`.
+    density:
+        Top-k sparsity rho for the sparse schemes, in (0, 1].
+    resolution:
+        Input resolution in pixels; ``None`` picks 224 when the profile
+        is calibrated for it, else the profile's reference resolution
+        (0 for the Transformer).
+    local_batch:
+        Per-GPU batch; ``None`` uses the profile default.
+    iterations:
+        Total iterations of work the job needs to finish.
+    priority:
+        Higher-priority jobs are placed first and may *shrink*
+        strictly-lower-priority jobs to make room.
+    deadline_seconds:
+        Optional completion deadline, relative to arrival.
+    preference:
+        ``"spot"`` (billed at the cloud's spot discount) or
+        ``"on-demand"`` (full hourly price).
+    min_nodes / max_nodes:
+        Elastic allocation window; the autoscaler keeps the job within
+        it.  A job is only admitted once ``min_nodes`` fit.
+    gpus_per_node:
+        GPUs the job uses on each of its nodes; ``None`` means the whole
+        node.  Smaller slices let jobs co-locate (and contend).
+    arrival_seconds:
+        Submission time on the virtual clock.
+    """
+
+    name: str
+    profile: str = "resnet50"
+    scheme: str = "mstopk"
+    density: float = 0.01
+    resolution: int | None = None
+    local_batch: int | None = None
+    iterations: int = 200
+    priority: int = 0
+    deadline_seconds: float | None = None
+    preference: str = "spot"
+    min_nodes: int = 1
+    max_nodes: int = 2
+    gpus_per_node: int | None = None
+    arrival_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job name must be non-empty")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if not 0 < self.density <= 1:
+            raise ValueError(f"density must be in (0, 1], got {self.density}")
+        if self.preference not in PREFERENCES:
+            raise ValueError(
+                f"preference must be one of {PREFERENCES}, got {self.preference!r}"
+            )
+        if self.min_nodes < 1 or self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"need 1 <= min_nodes <= max_nodes, got "
+                f"[{self.min_nodes}, {self.max_nodes}]"
+            )
+        if self.gpus_per_node is not None and self.gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+        if self.arrival_seconds < 0:
+            raise ValueError(f"arrival_seconds must be >= 0, got {self.arrival_seconds}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be > 0, got {self.deadline_seconds}")
+        if self.local_batch is not None and self.local_batch < 1:
+            raise ValueError(f"local_batch must be >= 1, got {self.local_batch}")
+        # Resolve the profile and scheme eagerly so a typo fails at
+        # construction (and config validation), not mid-simulation.
+        get_profile(self.profile)
+        scheme_kind_of(self.scheme)
+
+    # -- resolution helpers ---------------------------------------------------
+    def model_profile(self) -> ModelProfile:
+        return get_profile(self.profile)
+
+    def scheme_kind(self) -> SchemeKind:
+        return scheme_kind_of(self.scheme)
+
+    def resolved_resolution(self, profile: ModelProfile | None = None) -> int:
+        profile = profile if profile is not None else self.model_profile()
+        if self.resolution is not None:
+            return self.resolution
+        if 224 in profile.resolution_throughput:
+            return 224
+        return max(profile.resolution_throughput)
+
+    def resolved_local_batch(self, profile: ModelProfile | None = None) -> int:
+        profile = profile if profile is not None else self.model_profile()
+        if self.local_batch is not None:
+            return self.local_batch
+        return profile.default_local_batch
+
+
+#: JobRecord lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+
+
+@dataclass
+class JobRecord:
+    """Mutable scheduler-side state of one job."""
+
+    spec: JobSpec
+    status: str = QUEUED
+    nodes: list[int] = field(default_factory=list)
+    progress: float = 0.0
+    first_start: float | None = None
+    completion: float | None = None
+    running_seconds: float = 0.0
+    solo_equivalent: float = 0.0
+    cost_usd: float = 0.0
+    grows: int = 0
+    shrinks: int = 0
+    #: (iteration, node_count) allocation history; seeded at placement.
+    waypoints: list[tuple[int, int]] = field(default_factory=list)
+    membership: MembershipView | None = None
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.spec.iterations - self.progress)
+
+    def queue_wait(self, now: float) -> float:
+        """Seconds spent waiting before first placement (so far)."""
+        started = self.first_start if self.first_start is not None else now
+        return max(0.0, started - self.spec.arrival_seconds)
+
+    def jct(self) -> float | None:
+        """Job completion time (arrival -> done), if finished."""
+        if self.completion is None:
+            return None
+        return self.completion - self.spec.arrival_seconds
+
+    def deadline_met(self) -> bool | None:
+        """Whether the deadline held; ``None`` when no deadline was set."""
+        if self.spec.deadline_seconds is None:
+            return None
+        jct = self.jct()
+        return jct is not None and jct <= self.spec.deadline_seconds
+
+    def contention_slowdown(self) -> float:
+        """How much co-location cost this job (1.0 = ran as if solo).
+
+        Ratio of the iterations an uncontended run at the same allocation
+        history would have finished to the iterations actually finished.
+        """
+        if self.progress <= 0:
+            return 1.0
+        return self.solo_equivalent / self.progress
+
+    def mark_waypoint(self) -> None:
+        self.waypoints.append((int(round(self.progress)), len(self.nodes)))
+
+    def to_trace_schedule(self, *, warned: bool = True) -> TraceSchedule:
+        """The allocation history as a replayable elastic churn trace.
+
+        Feed this to :class:`~repro.elastic.ElasticTrainer` (with
+        ``num_nodes`` equal to the first waypoint's count) to actually
+        *train* through the membership changes this scheduler decided —
+        scale events driven by the scheduler instead of recorded traces.
+        """
+        if not self.waypoints:
+            raise ValueError(f"job {self.spec.name!r} was never placed")
+        return TraceSchedule.from_deltas(self.waypoints, warned=warned)
+
+
+__all__ = [
+    "PREFERENCES",
+    "SCHEME_KINDS",
+    "scheme_kind_of",
+    "JobSpec",
+    "JobRecord",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+]

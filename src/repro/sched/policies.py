@@ -1,0 +1,187 @@
+"""Pluggable placement policies for the multi-tenant scheduler.
+
+A placement policy answers one question: *given the nodes that can hold
+this job, which should it get first?*  The scheduler computes the
+feasible candidate set (nodes with enough free GPUs), the policy orders
+it, and the scheduler takes as many nodes off the front as the job's
+elastic window allows.  Keeping policies as pure ordering functions
+makes them trivially composable with admission, preemption and
+autoscaling, which stay in the scheduler.
+
+Policies register in the ``repro.api`` registry style::
+
+    from repro.sched import register_policy
+
+    @register_policy("lowest-id")
+    def _lowest_id(job, candidates, state):
+        return sorted(candidates)
+
+Built-ins:
+
+* ``bin-pack`` — fill the busiest feasible nodes first.  Minimises the
+  number of occupied nodes (large idle blocks stay available for big
+  arrivals) at the price of NIC contention between co-located jobs.
+* ``spread`` — emptiest nodes first.  Minimises co-location, so each
+  job keeps more NIC bandwidth, at the price of fragmenting the
+  cluster.
+* ``network-aware`` — prefer neighbours that talk the least: order by
+  the total *communication intensity* (solo comm-time fraction, see
+  :meth:`ClusterState.comm_load`) already resident on each node, then
+  emptiest-first.  Comm-heavy jobs land next to compute-heavy ones, the
+  bandwidth-sharing penalty both pay shrinks — the placement lesson of
+  running 25 Gbps clouds at multi-tenant occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.api.registry import Registry
+from repro.sched.job import JobSpec
+
+#: Policy registry: ``f(job, candidates, state) -> ordered candidate list``.
+POLICIES = Registry("policy")
+
+
+def register_policy(name: str, *, aliases: Iterable[str] = (), overwrite: bool = False):
+    """Register a placement policy ordering function.
+
+    The callable receives ``(job: JobSpec, candidates: Sequence[int],
+    state: ClusterState)`` and returns the candidate node ids ordered
+    most-preferred first (a permutation of ``candidates``).
+    """
+    return POLICIES.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def build_policy(name: str) -> Callable:
+    """Resolve a registered policy by name or alias."""
+    return POLICIES.get(name)
+
+
+class ClusterState:
+    """Occupancy of the shared cluster: who holds how many GPUs where.
+
+    Tracks, per node, the GPUs each job occupies, plus each job's
+    communication intensity (fraction of its solo iteration spent in
+    communication) so network-aware policies can weigh neighbours by how
+    hard they hit the shared NIC.
+    """
+
+    def __init__(self, num_nodes: int, gpus_per_node: int) -> None:
+        if num_nodes < 1 or gpus_per_node < 1:
+            raise ValueError("num_nodes and gpus_per_node must be >= 1")
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node
+        self._occupants: dict[int, dict[str, int]] = {n: {} for n in range(num_nodes)}
+        self._comm_intensity: dict[str, float] = {}
+
+    # -- queries --------------------------------------------------------------
+    def free_gpus(self, node: int) -> int:
+        return self.gpus_per_node - sum(self._occupants[node].values())
+
+    def tenants(self, node: int) -> int:
+        """Number of distinct jobs holding GPUs on this node."""
+        return len(self._occupants[node])
+
+    def jobs_on(self, node: int) -> tuple[str, ...]:
+        return tuple(sorted(self._occupants[node]))
+
+    def gpus_of(self, job: str, node: int) -> int:
+        """GPUs ``job`` occupies on ``node`` (0 if absent)."""
+        return self._occupants[node].get(job, 0)
+
+    def comm_load(self, node: int) -> float:
+        """Total communication intensity already resident on a node."""
+        return sum(
+            self._comm_intensity.get(name, 0.0) for name in self._occupants[node]
+        )
+
+    def feasible_nodes(self, gpus: int, *, exclude: Iterable[int] = ()) -> list[int]:
+        """Nodes with at least ``gpus`` free, ascending id."""
+        excluded = set(exclude)
+        return [
+            n
+            for n in range(self.num_nodes)
+            if n not in excluded and self.free_gpus(n) >= gpus
+        ]
+
+    def contention_for(self, nodes: Iterable[int]) -> int:
+        """Worst-case tenant count across a node set (>= 1)."""
+        counts = [self.tenants(n) for n in nodes]
+        return max(counts) if counts else 1
+
+    def busy_nodes(self) -> int:
+        return sum(1 for n in range(self.num_nodes) if self._occupants[n])
+
+    # -- transitions ----------------------------------------------------------
+    def place(self, job: str, nodes: Iterable[int], gpus: int) -> None:
+        nodes = list(nodes)
+        for node in nodes:
+            if self.free_gpus(node) < gpus:
+                raise ValueError(
+                    f"node {node} has {self.free_gpus(node)} free GPUs, "
+                    f"job {job!r} needs {gpus}"
+                )
+            if job in self._occupants[node]:
+                raise ValueError(f"job {job!r} already occupies node {node}")
+        for node in nodes:
+            self._occupants[node][job] = gpus
+
+    def release(self, job: str, nodes: Iterable[int] | None = None) -> None:
+        targets = (
+            list(nodes)
+            if nodes is not None
+            else [n for n, occ in self._occupants.items() if job in occ]
+        )
+        for node in targets:
+            if job not in self._occupants[node]:
+                raise KeyError(f"job {job!r} does not occupy node {node}")
+            del self._occupants[node][job]
+
+    def set_comm_intensity(self, job: str, intensity: float) -> None:
+        self._comm_intensity[job] = max(0.0, float(intensity))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        occupied = {n: occ for n, occ in self._occupants.items() if occ}
+        return f"ClusterState({self.num_nodes}x{self.gpus_per_node}, {occupied})"
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies
+# ---------------------------------------------------------------------------
+
+
+@register_policy("bin-pack", aliases=("binpack", "pack"))
+def _bin_pack(job: JobSpec, candidates: Sequence[int], state: ClusterState) -> list[int]:
+    """Busiest feasible nodes first (fewest free GPUs)."""
+    return sorted(candidates, key=lambda n: (state.free_gpus(n), n))
+
+
+@register_policy("spread", aliases=("scatter",))
+def _spread(job: JobSpec, candidates: Sequence[int], state: ClusterState) -> list[int]:
+    """Emptiest nodes first (most free GPUs, fewest tenants)."""
+    return sorted(candidates, key=lambda n: (-state.free_gpus(n), state.tenants(n), n))
+
+
+@register_policy("network-aware", aliases=("netaware", "contention-aware"))
+def _network_aware(
+    job: JobSpec, candidates: Sequence[int], state: ClusterState
+) -> list[int]:
+    """Least resident communication intensity first, then emptiest."""
+    return sorted(
+        candidates,
+        key=lambda n: (
+            round(state.comm_load(n), 12),
+            state.tenants(n),
+            -state.free_gpus(n),
+            n,
+        ),
+    )
+
+
+__all__ = [
+    "POLICIES",
+    "register_policy",
+    "build_policy",
+    "ClusterState",
+]

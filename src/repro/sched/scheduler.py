@@ -1,0 +1,646 @@
+"""Contention-aware multi-tenant scheduling over the virtual cloud cluster.
+
+:class:`MultiTenantScheduler` admits a queue of :class:`~repro.sched.job
+.JobSpec` onto one shared virtual cluster and simulates it to completion
+on a virtual clock:
+
+* **Placement** — feasible nodes (enough free GPUs) are ordered by a
+  pluggable policy from :mod:`repro.sched.policies` and the job takes up
+  to ``max_nodes`` of them (never fewer than ``min_nodes``).
+* **Contention** — co-located jobs split node NIC capacity through
+  :meth:`~repro.cluster.network.NetworkModel.contended`; each job's
+  throughput comes from the Fig. 1
+  :class:`~repro.perf.iteration_model.IterationModel` on its contended
+  cluster slice, so a neighbour that hammers the network visibly slows
+  you down (and a compute-bound one barely does).
+* **Preemption** — a queued job that does not fit may *shrink*
+  strictly-lower-priority running jobs toward their ``min_nodes``, one
+  node at a time, until it fits; every shrink drives the victim's
+  :class:`~repro.elastic.membership.MembershipView` exactly like a
+  warned spot revocation.
+* **Autoscaling** — while nothing is queued, running jobs grow onto
+  idle capacity (priority order, policy-ordered nodes) up to
+  ``max_nodes``; the resulting allocation history converts to a
+  :class:`~repro.elastic.events.TraceSchedule` replayable through the
+  real :class:`~repro.elastic.ElasticTrainer`.
+* **Accounting** — per-job queueing delay, completion time, goodput,
+  contention slowdown, and dollars (spot or on-demand rates from
+  :data:`repro.elastic.events.SPOT_PROFILES`, billed by GPU share);
+  cluster-wide makespan, utilization, goodput and deadline hit rate.
+
+Everything is closed-form and deterministic: same jobs + policy =>
+bit-identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.elastic.events import SPOT_PROFILES, SpotProfile
+from repro.elastic.membership import MembershipView
+from repro.perf.iteration_model import IterationModel
+from repro.sched.job import DONE, RUNNING, JobRecord, JobSpec
+from repro.sched.policies import POLICIES, ClusterState, build_policy
+from repro.utils.tables import format_table
+
+#: Keep in sync with ``benchmarks/conftest.py::BENCH_SCHEMA_VERSION``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Columns of the per-job rows every sched payload carries.
+PAYLOAD_COLUMNS = [
+    "policy",
+    "job",
+    "status",
+    "priority",
+    "nodes",
+    "queue_wait_s",
+    "jct_s",
+    "iterations",
+    "goodput_it_per_s",
+    "contention_slowdown",
+    "grows",
+    "shrinks",
+    "membership_epochs",
+    "cost_usd",
+    "deadline_met",
+]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Final accounting for one job under one policy."""
+
+    job: str
+    policy: str
+    status: str
+    priority: int
+    nodes: int  # final allocation size
+    queue_wait_s: float
+    jct_s: float | None
+    iterations: float
+    goodput_it_per_s: float
+    contention_slowdown: float
+    grows: int
+    shrinks: int
+    membership_epochs: int
+    cost_usd: float
+    deadline_met: bool | None
+    waypoints: tuple[tuple[int, int], ...]
+
+    def row(self) -> list:
+        return [
+            self.policy,
+            self.job,
+            self.status,
+            self.priority,
+            self.nodes,
+            round(self.queue_wait_s, 3),
+            round(self.jct_s, 3) if self.jct_s is not None else None,
+            round(self.iterations, 2),
+            round(self.goodput_it_per_s, 4),
+            round(self.contention_slowdown, 4),
+            self.grows,
+            self.shrinks,
+            self.membership_epochs,
+            round(self.cost_usd, 4),
+            self.deadline_met,
+        ]
+
+
+@dataclass
+class SchedReport:
+    """Structured result of one multi-tenant scheduling run."""
+
+    name: str
+    policy: str
+    instance: str
+    num_nodes: int
+    gpus_per_node: int
+    seed: int
+    jobs: list[JobOutcome] = field(default_factory=list)
+    makespan_s: float = 0.0
+    total_cost_usd: float = 0.0
+    utilization: float = 0.0  # occupied-node-seconds / (nodes * makespan)
+    cluster_goodput_it_per_s: float = 0.0
+    mean_queue_wait_s: float = 0.0
+    deadline_hit_rate: float | None = None
+    events: int = 0
+    #: Job name -> allocation waypoints, for elastic replay.
+    traces: dict[str, tuple[tuple[int, int], ...]] = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        return {
+            "makespan_s": round(self.makespan_s, 3),
+            "total_cost_usd": round(self.total_cost_usd, 4),
+            "utilization": round(self.utilization, 4),
+            "cluster_goodput_it_per_s": round(self.cluster_goodput_it_per_s, 4),
+            "mean_queue_wait_s": round(self.mean_queue_wait_s, 3),
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "jobs_done": sum(1 for j in self.jobs if j.status == DONE),
+            "events": self.events,
+        }
+
+    def bench_payload(self, bench: str | None = None) -> dict:
+        return payload_for_reports([self], bench=bench or f"sched_{self.name}")
+
+    def format(self) -> str:
+        return self.bench_payload()["text"]
+
+
+def payload_for_reports(
+    reports: Sequence["SchedReport"], *, bench: str = "sched"
+) -> dict:
+    """One BENCH-schema payload covering one or more policy runs."""
+    if not reports:
+        raise ValueError("need at least one SchedReport")
+    rows = [outcome.row() for report in reports for outcome in report.jobs]
+    first = reports[0]
+    title = (
+        f"{bench}: {len(first.jobs)} jobs on {first.num_nodes}x"
+        f"{first.gpus_per_node} {first.instance} "
+        f"({', '.join(r.policy for r in reports)})"
+    )
+    text = format_table(PAYLOAD_COLUMNS, rows, title=title)
+    return {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "structured": True,
+        "columns": list(PAYLOAD_COLUMNS),
+        "rows": rows,
+        "text": text if text.endswith("\n") else text + "\n",
+        "meta": {
+            "instance": first.instance,
+            "num_nodes": first.num_nodes,
+            "gpus_per_node": first.gpus_per_node,
+            "seed": first.seed,
+            "policies": [r.policy for r in reports],
+            "summary": {r.policy: r.summary() for r in reports},
+        },
+    }
+
+
+class MultiTenantScheduler:
+    """Simulate many jobs sharing one virtual cloud cluster.
+
+    Parameters
+    ----------
+    num_nodes:
+        Shared cluster size (whole nodes; jobs slice GPUs within them).
+    instance:
+        Registered cluster preset (``repro.api`` cluster registry name
+        or alias) supplying link specs and spot prices.
+    gpus_per_node:
+        Override the preset GPU count per node.
+    policy:
+        Registered placement policy name (see
+        :mod:`repro.sched.policies`).
+    seed:
+        Recorded for provenance; the simulation itself is closed-form
+        deterministic (no random draws).
+    max_events:
+        Safety cap on scheduler decision points.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int,
+        instance: str = "tencent",
+        gpus_per_node: int | None = None,
+        policy: str = "bin-pack",
+        seed: int = 0,
+        max_events: int = 10_000,
+        name: str = "sched",
+    ) -> None:
+        from repro.api.registry import CLUSTERS, get_cluster
+
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        preset = get_cluster(instance)
+        self.instance = CLUSTERS.canonical(instance) or instance
+        self.preset = preset
+        self.num_nodes = num_nodes
+        self.gpus_per_node = gpus_per_node if gpus_per_node is not None else preset.gpus
+        if self.gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+        self.policy_name = POLICIES.canonical(policy) or policy
+        self.policy: Callable = build_policy(policy)
+        self.seed = seed
+        self.max_events = max_events
+        self.name = name
+        #: (spec name, nodes, contention) -> iteration seconds; reset per run.
+        self._time_cache: dict[tuple[str, int, float], float] = {}
+        # Unknown (custom-registered) clouds bill at the tencent profile.
+        self.spot_profile: SpotProfile = SPOT_PROFILES.get(
+            self.instance, SPOT_PROFILES["tencent"]
+        )
+
+    # -- per-job timing -------------------------------------------------------
+    def _job_gpus(self, spec: JobSpec) -> int:
+        gpus = spec.gpus_per_node if spec.gpus_per_node is not None else self.gpus_per_node
+        return gpus
+
+    def _iteration_model(
+        self, spec: JobSpec, nodes: int, contention: float
+    ) -> IterationModel:
+        from repro.api.registry import build_cluster
+
+        profile = spec.model_profile()
+        network = build_cluster(
+            self.instance, nodes, gpus_per_node=self._job_gpus(spec)
+        )
+        return IterationModel(
+            network=network,
+            profile=profile,
+            scheme=spec.scheme_kind(),
+            resolution=spec.resolved_resolution(profile),
+            local_batch=spec.resolved_local_batch(profile),
+            density=spec.density,
+            contention=contention,
+        )
+
+    def iteration_seconds(
+        self, spec: JobSpec, *, nodes: int, contention: float = 1.0
+    ) -> float:
+        """Per-iteration virtual seconds at an allocation + tenant count.
+
+        Pure in ``(spec, nodes, contention)``, so results are memoized
+        per :meth:`run` — the event loop re-prices every running job at
+        every event and would otherwise rebuild identical models
+        thousands of times.
+        """
+        key = (spec.name, nodes, contention)
+        cached = self._time_cache.get(key)
+        if cached is None:
+            cached = self._iteration_model(spec, nodes, contention).iteration_time()
+            self._time_cache[key] = cached
+        return cached
+
+    def comm_intensity(self, spec: JobSpec, *, nodes: int) -> float:
+        """Solo communication share of the iteration (network-aware input)."""
+        breakdown = self._iteration_model(spec, nodes, 1.0).breakdown()
+        total = breakdown.total
+        if total <= 0:
+            return 0.0
+        return (breakdown.get("communication") + breakdown.get("compression")) / total
+
+    def _hourly_rate(self, spec: JobSpec, nodes: int) -> float:
+        """USD/hour for the job's current slice (GPU-share of node price)."""
+        price = self.spot_profile.on_demand_hourly
+        if spec.preference == "spot":
+            price *= self.spot_profile.spot_discount
+        share = self._job_gpus(spec) / self.gpus_per_node
+        return price * nodes * share
+
+    # -- scheduling decisions -------------------------------------------------
+    def _validate(self, jobs: Sequence[JobSpec]) -> None:
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job names must be unique, got {sorted(names)}")
+        for job in jobs:
+            gpus = self._job_gpus(job)
+            if gpus > self.gpus_per_node:
+                raise ValueError(
+                    f"job {job.name!r} wants {gpus} GPUs/node on "
+                    f"{self.gpus_per_node}-GPU nodes"
+                )
+            if job.min_nodes > self.num_nodes:
+                raise ValueError(
+                    f"job {job.name!r} needs {job.min_nodes} nodes, cluster has "
+                    f"{self.num_nodes}"
+                )
+
+    def _try_preempt(
+        self, job: JobSpec, running: list[JobRecord], state: ClusterState
+    ) -> None:
+        """Shrink strictly-lower-priority jobs until ``job`` fits.
+
+        Preemption is *targeted and all-or-nothing*: per candidate node
+        it plans exactly which lower-priority tenants must release their
+        slice for the node to become feasible, and commits the plans
+        only when together they admit the job (``min_nodes`` feasible
+        nodes).  If the job cannot be admitted even after every eligible
+        shrink, nobody shrinks — no victim loses capacity for nothing,
+        and freed nodes can't leak to lower-priority queue entries.
+        Each victim can lose at most ``len(nodes) - min_nodes`` nodes
+        (its elastic floor); every committed shrink drives the victim's
+        membership view like a warned revocation.
+        """
+        gpus = self._job_gpus(job)
+        needed = job.min_nodes - len(state.feasible_nodes(gpus))
+        if needed <= 0:
+            return
+        by_name = {r.spec.name: r for r in running}
+        budget = {
+            r.spec.name: len(r.nodes) - r.spec.min_nodes
+            for r in running
+            if r.spec.priority < job.priority
+        }
+        # Cheapest nodes first: fewest tenants to displace, most free.
+        order = sorted(
+            (n for n in range(state.num_nodes) if state.free_gpus(n) < gpus),
+            key=lambda n: (state.tenants(n), -state.free_gpus(n), n),
+        )
+        plans: list[tuple[int, list[str]]] = []
+        for node in order:
+            shortfall = gpus - state.free_gpus(node)
+            plan: list[str] = []
+            # Lowest-priority tenants evict first.
+            for name in sorted(
+                state.jobs_on(node),
+                key=lambda j: (by_name[j].spec.priority, j),
+            ):
+                if budget.get(name, 0) < 1:
+                    continue
+                plan.append(name)
+                shortfall -= state.gpus_of(name, node)
+                if shortfall <= 0:
+                    break
+            if shortfall > 0:
+                continue  # this node cannot be freed; leave its tenants be
+            plans.append((node, plan))
+            for name in plan:
+                budget[name] -= 1
+            if len(plans) >= needed:
+                break
+        if len(plans) < needed:
+            return  # the job cannot be admitted; shrink nobody
+        for node, plan in plans:
+            for name in plan:
+                victim = by_name[name]
+                state.release(name, [node])
+                victim.nodes.remove(node)
+                victim.shrinks += 1
+                victim.mark_waypoint()
+                if victim.membership is not None:
+                    victim.membership.revoke()  # warned, scheduler-driven
+                state.set_comm_intensity(
+                    name, self.comm_intensity(victim.spec, nodes=len(victim.nodes))
+                )
+
+    def _place(self, record: JobRecord, state: ClusterState, now: float) -> bool:
+        spec = record.spec
+        gpus = self._job_gpus(spec)
+        candidates = state.feasible_nodes(gpus)
+        if len(candidates) < spec.min_nodes:
+            return False
+        ordered = list(self.policy(spec, candidates, state))
+        take = min(spec.max_nodes, len(ordered))
+        chosen = ordered[:take]
+        state.place(spec.name, chosen, gpus)
+        record.nodes = list(chosen)
+        record.status = RUNNING
+        if record.first_start is None:
+            record.first_start = now
+            state.set_comm_intensity(
+                spec.name, self.comm_intensity(spec, nodes=take)
+            )
+            record.membership = MembershipView(
+                take, gpus, instance=self.preset, min_nodes=spec.min_nodes
+            )
+        record.mark_waypoint()
+        return True
+
+    def _grow(self, record: JobRecord, state: ClusterState) -> bool:
+        spec = record.spec
+        if len(record.nodes) >= spec.max_nodes:
+            return False
+        gpus = self._job_gpus(spec)
+        candidates = state.feasible_nodes(gpus, exclude=record.nodes)
+        if not candidates:
+            return False
+        node = list(self.policy(spec, candidates, state))[0]
+        state.place(spec.name, [node], gpus)
+        record.nodes.append(node)
+        record.grows += 1
+        record.mark_waypoint()
+        if record.membership is not None:
+            record.membership.join()
+        # Comm share depends on the node count; keep the network-aware
+        # policy's view of this tenant current.
+        state.set_comm_intensity(
+            spec.name, self.comm_intensity(spec, nodes=len(record.nodes))
+        )
+        return True
+
+    def _schedule(
+        self,
+        queued: list[JobRecord],
+        running: list[JobRecord],
+        state: ClusterState,
+        now: float,
+    ) -> None:
+        # 1. Admit queued jobs, highest priority first; preempt if needed.
+        for record in sorted(
+            list(queued),
+            key=lambda r: (-r.spec.priority, r.spec.arrival_seconds, r.spec.name),
+        ):
+            gpus = self._job_gpus(record.spec)
+            if len(state.feasible_nodes(gpus)) < record.spec.min_nodes:
+                self._try_preempt(record.spec, running, state)
+            if self._place(record, state, now):
+                queued.remove(record)
+                running.append(record)
+        # 2. Autoscale: grow running jobs onto capacity nothing is queued for.
+        if not queued:
+            changed = True
+            while changed:
+                changed = False
+                for record in sorted(
+                    running,
+                    key=lambda r: (-r.spec.priority, r.spec.arrival_seconds, r.spec.name),
+                ):
+                    if self._grow(record, state):
+                        changed = True
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, jobs: Sequence[JobSpec]) -> SchedReport:
+        """Simulate the job set to completion; returns the full report."""
+        if not jobs:
+            raise ValueError("need at least one JobSpec")
+        self._validate(jobs)
+        self._time_cache.clear()  # job names may be reused across runs
+        state = ClusterState(self.num_nodes, self.gpus_per_node)
+        records = {job.name: JobRecord(spec=job) for job in jobs}
+        pending = sorted(
+            records.values(),
+            key=lambda r: (r.spec.arrival_seconds, -r.spec.priority, r.spec.name),
+        )
+        queued: list[JobRecord] = []
+        running: list[JobRecord] = []
+        done: list[JobRecord] = []
+
+        now = 0.0
+        occupied_node_seconds = 0.0
+        events = 0
+        while (pending or queued or running) and events < self.max_events:
+            events += 1
+            while pending and pending[0].spec.arrival_seconds <= now + 1e-12:
+                queued.append(pending.pop(0))
+            self._schedule(queued, running, state, now)
+            if not running:
+                if not pending:
+                    break  # nothing placeable remains (validated away, but safe)
+                now = pending[0].spec.arrival_seconds
+                continue
+
+            # Piecewise-constant rates until the next event.
+            rates: dict[str, tuple[float, float]] = {}
+            for record in running:
+                contention = state.contention_for(record.nodes)
+                busy = self.iteration_seconds(
+                    record.spec, nodes=len(record.nodes), contention=contention
+                )
+                solo = (
+                    busy
+                    if contention <= 1
+                    else self.iteration_seconds(
+                        record.spec, nodes=len(record.nodes), contention=1.0
+                    )
+                )
+                rates[record.spec.name] = (1.0 / busy, 1.0 / solo)
+
+            next_completion = min(
+                now + record.remaining / rates[record.spec.name][0]
+                for record in running
+            )
+            next_arrival = pending[0].spec.arrival_seconds if pending else None
+            horizon = next_completion
+            if next_arrival is not None and next_arrival < horizon:
+                horizon = next_arrival
+            dt = max(0.0, horizon - now)
+
+            for record in running:
+                rate, solo_rate = rates[record.spec.name]
+                record.progress = min(
+                    record.spec.iterations, record.progress + rate * dt
+                )
+                record.solo_equivalent += solo_rate * dt
+                record.running_seconds += dt
+                record.cost_usd += (
+                    self._hourly_rate(record.spec, len(record.nodes)) * dt / 3600.0
+                )
+            occupied_node_seconds += state.busy_nodes() * dt
+            now = horizon
+
+            for record in list(running):
+                if record.remaining <= 1e-9:
+                    state.release(record.spec.name)
+                    record.status = DONE
+                    record.completion = now
+                    running.remove(record)
+                    done.append(record)
+
+        return self._report(records, now, occupied_node_seconds, events)
+
+    def _report(
+        self,
+        records: dict[str, JobRecord],
+        makespan: float,
+        occupied_node_seconds: float,
+        events: int,
+    ) -> SchedReport:
+        outcomes = []
+        for record in records.values():
+            outcomes.append(
+                JobOutcome(
+                    job=record.spec.name,
+                    policy=self.policy_name,
+                    status=record.status,
+                    priority=record.spec.priority,
+                    nodes=len(record.nodes),
+                    queue_wait_s=record.queue_wait(makespan),
+                    jct_s=record.jct(),
+                    iterations=record.progress,
+                    goodput_it_per_s=(
+                        record.progress / record.running_seconds
+                        if record.running_seconds
+                        else 0.0
+                    ),
+                    contention_slowdown=record.contention_slowdown(),
+                    grows=record.grows,
+                    shrinks=record.shrinks,
+                    membership_epochs=(
+                        record.membership.epoch if record.membership is not None else 0
+                    ),
+                    cost_usd=record.cost_usd,
+                    deadline_met=record.deadline_met(),
+                    waypoints=tuple(record.waypoints),
+                )
+            )
+        outcomes.sort(key=lambda o: o.job)
+        deadlines = [o.deadline_met for o in outcomes if o.deadline_met is not None]
+        total_iterations = sum(o.iterations for o in outcomes)
+        report = SchedReport(
+            name=self.name,
+            policy=self.policy_name,
+            instance=self.instance,
+            num_nodes=self.num_nodes,
+            gpus_per_node=self.gpus_per_node,
+            seed=self.seed,
+            jobs=outcomes,
+            makespan_s=makespan,
+            total_cost_usd=sum(o.cost_usd for o in outcomes),
+            utilization=(
+                occupied_node_seconds / (self.num_nodes * makespan) if makespan else 0.0
+            ),
+            cluster_goodput_it_per_s=(
+                total_iterations / makespan if makespan else 0.0
+            ),
+            mean_queue_wait_s=(
+                sum(o.queue_wait_s for o in outcomes) / len(outcomes)
+            ),
+            deadline_hit_rate=(
+                sum(deadlines) / len(deadlines) if deadlines else None
+            ),
+            events=events,
+            traces={o.job: o.waypoints for o in outcomes},
+        )
+        return report
+
+
+def compare_policies(
+    jobs: Sequence[JobSpec],
+    policies: Sequence[str],
+    *,
+    num_nodes: int,
+    instance: str = "tencent",
+    gpus_per_node: int | None = None,
+    seed: int = 0,
+    name: str = "sched",
+) -> dict[str, SchedReport]:
+    """Run the same job set under several placement policies."""
+    if not policies:
+        raise ValueError("need at least one policy")
+    canonical = [POLICIES.canonical(p) or p for p in policies]
+    duplicates = sorted({p for p in canonical if canonical.count(p) > 1})
+    if duplicates:
+        # Aliases resolve to one report key; running twice and silently
+        # overwriting would waste a simulation and drop output.
+        raise ValueError(
+            f"policies resolve to duplicate entries: {', '.join(duplicates)}"
+        )
+    reports: dict[str, SchedReport] = {}
+    for policy in policies:
+        scheduler = MultiTenantScheduler(
+            num_nodes=num_nodes,
+            instance=instance,
+            gpus_per_node=gpus_per_node,
+            policy=policy,
+            seed=seed,
+            name=name,
+        )
+        reports[scheduler.policy_name] = scheduler.run(jobs)
+    return reports
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PAYLOAD_COLUMNS",
+    "JobOutcome",
+    "SchedReport",
+    "payload_for_reports",
+    "MultiTenantScheduler",
+    "compare_policies",
+]

@@ -6,12 +6,11 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
-
 from repro.api.cli import main
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 SMOKE_CONFIG = REPO / "examples" / "configs" / "smoke.json"
+SCHED_CONFIG = REPO / "examples" / "configs" / "multi_tenant.json"
 
 
 class TestList:
@@ -26,10 +25,18 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for header in ("schemes:", "compressors:", "models:", "clusters:",
-                       "experiments:"):
+                       "policies:", "experiments:"):
             assert header in out
         assert "Fig. 10" in out
         assert "tencent" in out
+
+    def test_list_policies_matches_registry(self, capsys):
+        from repro.sched.policies import POLICIES
+
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        for name in POLICIES.available():
+            assert name in out
 
     def test_list_experiments_matches_runner(self, capsys):
         from repro.experiments.runner import EXPERIMENTS
@@ -96,6 +103,100 @@ class TestRun:
             "--set", "comm.scheme=dense", "--set", "comm.compressor=mstopk",
         ]) == 2
         assert "does not accept a compressor" in capsys.readouterr().err
+
+    def test_malformed_set_without_equals_fails(self, capsys):
+        assert main([
+            "run", "--config", str(SMOKE_CONFIG), "--set", "comm.density",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "key=value" in err
+
+    def test_failure_is_one_line_without_traceback(self):
+        """User errors reach the shell as one actionable line, no traceback."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        for argv in (
+            ["run", "--config", "/nonexistent/cfg.json"],
+            ["run", "--config", str(SMOKE_CONFIG), "--set", "comm.scheme=warp"],
+            ["run", "--config", str(SMOKE_CONFIG), "--set", "oops"],
+            ["sched", "--config", "/nonexistent/cfg.json"],
+            ["sched", "--config", str(SCHED_CONFIG), "--set", "policies.0=warp"],
+        ):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True, text=True, timeout=120, env=env,
+            )
+            assert proc.returncode == 2, argv
+            assert "Traceback" not in proc.stderr, argv
+            lines = [line for line in proc.stderr.splitlines() if line.strip()]
+            assert len(lines) == 1 and lines[0].startswith("error: "), proc.stderr
+
+
+class TestSched:
+    def test_sched_table_output(self, capsys):
+        assert main(["sched", "--config", str(SCHED_CONFIG)]) == 0
+        out = capsys.readouterr().out
+        for expected in ("bin-pack", "spread", "network-aware",
+                         "resnet-prod", "contention_slowdown"):
+            assert expected in out
+
+    def test_sched_json_payload_passes_schema(self, capsys):
+        assert main(["sched", "--config", str(SCHED_CONFIG), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["structured"] is True
+        assert payload["bench"] == "sched_multi-tenant"
+        policies = payload["meta"]["policies"]
+        assert len(policies) >= 2  # the shipped scenario compares policies
+        jobs = {row[payload["columns"].index("job")] for row in payload["rows"]}
+        assert len(jobs) >= 3  # ... over at least three jobs
+        assert len(payload["rows"]) == len(jobs) * len(policies)
+        for row in payload["rows"]:
+            assert len(row) == len(payload["columns"])
+
+    def test_sched_set_overrides_list_entries(self, capsys):
+        assert main([
+            "sched", "--config", str(SCHED_CONFIG), "--json",
+            "--set", "policies=[\"spread\"]", "--set", "jobs.0.priority=9",
+            "--set", "name=cli-sched",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"] == "sched_cli-sched"
+        assert payload["meta"]["policies"] == ["spread"]
+
+    def test_sched_out_writes_payload(self, tmp_path, capsys):
+        out_path = tmp_path / "sub" / "sched.json"
+        assert main([
+            "sched", "--config", str(SCHED_CONFIG), "--out", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 1
+        assert "payload written" in capsys.readouterr().out
+
+    def test_sched_unknown_policy_fails_actionably(self, capsys):
+        assert main([
+            "sched", "--config", str(SCHED_CONFIG), "--set", "policies.0=warp",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "warp" in err and "bin-pack" in err
+
+    def test_sched_bad_list_index_fails_actionably(self, capsys):
+        assert main([
+            "sched", "--config", str(SCHED_CONFIG), "--set", "jobs.99.priority=1",
+        ]) == 2
+        assert "list index" in capsys.readouterr().err
+
+    def test_sched_missing_config_fails(self, capsys):
+        assert main(["sched", "--config", "/nonexistent/cfg.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_sched_unknown_job_key_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"jobs": [{"name": "a", "speed": 9}]}')
+        assert main(["sched", "--config", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "speed" in err and "accepted keys" in err
 
 
 class TestExperiments:
