@@ -1,0 +1,112 @@
+"""CI gate on the parallel-vs-serial exec scaling ratio.
+
+Compares a freshly produced ``BENCH_exec_scaling_run.json`` against the
+committed ``results/BENCH_exec_scaling.json`` baseline and enforces the
+multicore acceptance bar:
+
+* **parity** (hard, every host) — ``meta.parity_ok`` must be true: the
+  parallel sweep produced bit-identical results to the serial loop;
+* **speedup** (hard where the hardware exists) — on a host with >=
+  ``--gate-cores`` usable cores (CI runners), the ``jobs=4``
+  parallel-vs-serial sweep ratio must clear ``--min-speedup``
+  (default 1.5x).  Both sides of the ratio are measured on the *same*
+  machine in the same run, so raw host speed cancels — this gates the
+  engine, not the runner;
+* **baseline drift** (hard only between comparable hosts) — when the
+  committed baseline was also measured on a >= gate-cores host, the
+  fresh ratio may not drop more than ``--threshold`` below it.  A
+  baseline from a smaller machine (e.g. a 1-core dev container) only
+  yields an advisory note.
+
+Usage (as the CI ``exec-smoke`` job does)::
+
+    python -m pytest benchmarks/bench_exec_scaling.py -q --benchmark-disable
+    python benchmarks/check_exec_regression.py \
+        --baseline results/BENCH_exec_scaling.json \
+        --current results/BENCH_exec_scaling_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RATIO_KEY = "sweep_speedup_jobs4"
+
+
+def load_meta(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text())
+    meta = payload.get("meta", {})
+    for key in ("cpu_count", "parity_ok", RATIO_KEY):
+        if key not in meta:
+            raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
+    return meta
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_exec_scaling.json")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_exec_scaling_run.json")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="jobs=4 sweep ratio floor on capable hosts")
+    parser.add_argument("--gate-cores", type=int, default=4,
+                        help="usable cores needed before the floor applies")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max fractional ratio drop vs a comparable baseline")
+    args = parser.parse_args(argv)
+
+    base = load_meta(args.baseline)
+    cur = load_meta(args.current)
+    cores = int(cur["cpu_count"])
+    ratio = float(cur[RATIO_KEY])
+    failures = []
+
+    if not cur["parity_ok"]:
+        failures.append("parity_ok is false: parallel sweep diverged from serial")
+    else:
+        print("ok: parallel sweep bit-identical to serial")
+
+    if cores >= args.gate_cores:
+        status = "ok" if ratio >= args.min_speedup else "FAIL"
+        print(
+            f"{status}: jobs=4 sweep speedup {ratio:.2f}x on {cores} cores "
+            f"(floor {args.min_speedup:.2f}x)"
+        )
+        if status == "FAIL":
+            failures.append(RATIO_KEY)
+    else:
+        print(
+            f"note: only {cores} usable core(s) (< {args.gate_cores}); "
+            f"speedup floor not applicable, measured {ratio:.2f}x"
+        )
+
+    base_cores = int(base["cpu_count"])
+    base_ratio = float(base[RATIO_KEY])
+    if base_cores >= args.gate_cores and cores >= args.gate_cores:
+        floor = base_ratio * (1.0 - args.threshold)
+        status = "ok" if ratio >= floor else "FAIL"
+        print(
+            f"{status}: baseline {base_ratio:.2f}x ({base_cores} cores) -> "
+            f"current {ratio:.2f}x (floor {floor:.2f}x)"
+        )
+        if status == "FAIL":
+            failures.append("baseline-relative drift")
+    else:
+        print(
+            f"note: baseline measured on {base_cores} core(s) "
+            f"({base_ratio:.2f}x), current on {cores}; drift check advisory only"
+        )
+
+    if failures:
+        print(f"FAIL: exec scaling gate: {failures}")
+        return 1
+    print("ok: exec scaling within the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

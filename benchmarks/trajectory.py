@@ -16,7 +16,13 @@ Usage::
 
     python benchmarks/trajectory.py [--results-dir results]
         [--out results/TRAJECTORY.json] [--commit SHA]
-        [--exclude GLOB ...]
+        [--exclude GLOB ...] [--include-runs]
+
+``BENCH_*_run.json`` payloads are skipped by default: they are the
+fresh-measurement twins the perf gates compare against committed
+baselines (same bench name, same schema), so folding both in would let
+whichever was written last clobber the series entry.  Pass
+``--include-runs`` to fold them in deliberately.
 
 CI runs this after the smoke benchmarks and uploads the result as an
 artifact, excluding committed baseline payloads (``--exclude``) so a
@@ -35,6 +41,9 @@ import sys
 
 #: Bump when the trajectory envelope changes shape.
 TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Fresh-measurement payloads skipped unless ``--include-runs``.
+RUN_PAYLOAD_GLOB = "BENCH_*_run.json"
 
 
 def current_commit(repo_root: pathlib.Path) -> str:
@@ -90,17 +99,22 @@ def collect(
     commit: str,
     *,
     exclude: tuple[str, ...] = (),
+    include_runs: bool = False,
 ) -> dict:
     """Merge the current BENCH payloads into the trajectory at ``out_path``.
 
     ``exclude`` holds filename globs (e.g. ``BENCH_perf_hotpath.json``)
     for payloads that must not be stamped onto ``commit`` — typically
-    committed baselines measured at an older commit.
+    committed baselines measured at an older commit.  ``*_run``
+    fresh-measurement payloads are excluded unless ``include_runs``.
     """
+    patterns = tuple(exclude)
+    if not include_runs:
+        patterns += (RUN_PAYLOAD_GLOB,)
     paths = [
         path
         for path in sorted(results_dir.glob("BENCH_*.json"))
-        if not any(fnmatch.fnmatch(path.name, pattern) for pattern in exclude)
+        if not any(fnmatch.fnmatch(path.name, pattern) for pattern in patterns)
     ]
     if not paths:
         raise SystemExit(f"error: no BENCH_*.json files under {results_dir}")
@@ -170,13 +184,25 @@ def main(argv: list[str] | None = None) -> int:
         help="filename glob(s) to skip, e.g. committed baselines measured "
         "at an older commit (repeatable)",
     )
+    parser.add_argument(
+        "--include-runs",
+        action="store_true",
+        help="also fold BENCH_*_run.json fresh-measurement payloads in "
+        "(skipped by default: they shadow their committed baselines)",
+    )
     args = parser.parse_args(argv)
     results_dir = pathlib.Path(args.results_dir)
     out_path = (
         pathlib.Path(args.out) if args.out else results_dir / "TRAJECTORY.json"
     )
     commit = args.commit or current_commit(repo_root)
-    collect(results_dir, out_path, commit, exclude=tuple(args.exclude))
+    collect(
+        results_dir,
+        out_path,
+        commit,
+        exclude=tuple(args.exclude),
+        include_runs=args.include_runs,
+    )
     return 0
 
 

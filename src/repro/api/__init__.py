@@ -26,6 +26,7 @@ from repro.api.config import (
     CommConfig,
     ConfigError,
     ElasticConfig,
+    ExecConfig,
     JobConfig,
     RunConfig,
     SchedConfig,
@@ -60,6 +61,7 @@ __all__ = [
     "CommConfig",
     "TrainConfig",
     "ElasticConfig",
+    "ExecConfig",
     "JobConfig",
     "SchedConfig",
     "ConfigError",

@@ -3,16 +3,21 @@
 Subcommands::
 
     repro run --config cfg.json [--set key=value ...] [--json] [--out PATH]
+              [--backend NAME] [--jobs N]
     repro sched --config cfg.json [--set key=value ...] [--json] [--out PATH]
-    repro list [schemes|compressors|models|clusters|policies|experiments]
-    repro experiments [--only SUBSTR] [--fast]
+              [--backend NAME] [--jobs N]
+    repro list [schemes|compressors|models|clusters|policies|backends|experiments]
+    repro experiments [--only SUBSTR] [--fast] [--backend NAME] [--jobs N]
 
 ``run`` executes one declarative :class:`~repro.api.config.RunConfig`;
 ``sched`` simulates a multi-tenant
 :class:`~repro.api.config.SchedConfig` scenario (one run per configured
 placement policy); ``list`` enumerates the registries (and the
 experiment harnesses); ``experiments`` delegates to
-:mod:`repro.experiments.runner`.
+:mod:`repro.experiments.runner`.  ``--backend``/``--jobs`` pick the
+:mod:`repro.exec` execution backend (``--set exec.backend=...``
+shorthand): ``process`` fans work across CPU cores, bit-identical to
+serial.
 """
 
 from __future__ import annotations
@@ -38,6 +43,7 @@ LIST_GROUPS = (
     "models",
     "clusters",
     "policies",
+    "backends",
     "experiments",
 )
 
@@ -69,6 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", default=None, metavar="PATH", help="also write the JSON payload here"
     )
+    _add_exec_flags(run_p)
 
     sched_p = sub.add_parser(
         "sched", help="simulate a multi-tenant scheduling scenario"
@@ -93,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sched_p.add_argument(
         "--out", default=None, metavar="PATH", help="also write the JSON payload here"
     )
+    _add_exec_flags(sched_p)
 
     list_p = sub.add_parser("list", help="enumerate registered components")
     list_p.add_argument(
@@ -107,7 +115,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trim the expensive sweeps (Fig. 6, Fig. 10, elastic churn)",
     )
+    _add_exec_flags(exp_p)
     return parser
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """``--backend`` / ``--jobs``: execution-backend shorthand.
+
+    Equivalent to ``--set exec.backend=... --set exec.jobs=...`` (and
+    overriding them, since they apply last); ``experiments`` has no
+    config file, so there they are the only spelling.
+    """
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend (see `python -m repro list backends`); "
+        "'process' fans work across CPU cores, bit-identical to serial",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for parallel backends (0 = all cores); "
+        "implies --backend process when no backend is named",
+    )
+
+
+def _exec_overrides(args: argparse.Namespace) -> list[str]:
+    """Translate --backend/--jobs into ``--set exec.*`` overrides."""
+    overrides = []
+    if args.backend is not None:
+        overrides.append(f"exec.backend={args.backend}")
+    if args.jobs is not None:
+        if args.backend is None:
+            overrides.append("exec.backend=process")
+        overrides.append(f"exec.jobs={args.jobs}")
+    return overrides
 
 
 def _registry_lines(reg: registry.Registry) -> list[str]:
@@ -120,6 +165,7 @@ def _registry_lines(reg: registry.Registry) -> list[str]:
 
 
 def _cmd_list(group: str | None) -> int:
+    from repro.exec.backend import BACKENDS
     from repro.sched.policies import POLICIES
 
     registries = {
@@ -128,6 +174,7 @@ def _cmd_list(group: str | None) -> int:
         "models": registry.MODELS,
         "clusters": registry.CLUSTERS,
         "policies": POLICIES,
+        "backends": BACKENDS,
     }
     groups = (group,) if group else LIST_GROUPS
     for i, name in enumerate(groups):
@@ -149,8 +196,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # traceback.
     try:
         config = RunConfig.from_file(args.config)
-        if args.overrides:
-            config = apply_overrides(config, args.overrides)
+        overrides = list(args.overrides) + _exec_overrides(args)
+        if overrides:
+            config = apply_overrides(config, overrides)
         preflight(config)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -177,8 +225,9 @@ def _cmd_sched(args: argparse.Namespace) -> int:
 
     try:
         config = SchedConfig.from_file(args.config)
-        if args.overrides:
-            config = apply_sched_overrides(config, args.overrides)
+        overrides = list(args.overrides) + _exec_overrides(args)
+        if overrides:
+            config = apply_sched_overrides(config, overrides)
         reports = run_sched(config)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -219,6 +268,10 @@ def main(argv: list[str] | None = None) -> int:
             runner_argv += ["--only", args.only]
         if args.fast:
             runner_argv += ["--fast"]
+        if args.backend:
+            runner_argv += ["--backend", args.backend]
+        if args.jobs is not None:
+            runner_argv += ["--jobs", str(args.jobs)]
         return runner_main(runner_argv)
     return 0  # pragma: no cover - unreachable
 

@@ -151,6 +151,29 @@ ELASTIC_SCHEDULES = ("poisson", "none")
 
 
 @dataclass(frozen=True)
+class ExecConfig:
+    """Where compute runs: execution backend + pool width.
+
+    Never changes *what* is computed — every backend is bit-identical to
+    ``serial`` (results are pinned by the parity and invariance suites),
+    so this section is pure wall-clock policy.
+    """
+
+    #: Registered execution backend (:data:`repro.exec.BACKENDS`);
+    #: built-ins: ``serial`` (inline, the default) / ``process``
+    #: (shared-memory worker pool on real CPU cores).
+    backend: str = "serial"
+    #: Pool width for parallel backends: worker processes for the
+    #: trainer's per-worker compute and for sweep fan-out (0 = all
+    #: usable cores; ignored by ``serial``).
+    jobs: int = 1
+    #: Multiprocessing start method (``fork`` / ``spawn`` /
+    #: ``forkserver``; None = platform preference — ``fork`` where
+    #: available, else ``spawn``).
+    start_method: str | None = None
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything one run needs, serializable and seed-complete."""
 
@@ -162,6 +185,7 @@ class RunConfig:
     comm: CommConfig = field(default_factory=CommConfig)
     train: TrainConfig = field(default_factory=TrainConfig)
     elastic: ElasticConfig | None = None
+    exec: ExecConfig = field(default_factory=ExecConfig)
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -180,6 +204,8 @@ class RunConfig:
             kwargs["train"] = _from_dict("train", data["train"], TrainConfig)
         if data.get("elastic") is not None:
             kwargs["elastic"] = _from_dict("elastic", data["elastic"], ElasticConfig)
+        if "exec" in data:
+            kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
         if validate:
             config.validate()
@@ -208,6 +234,7 @@ class RunConfig:
             "cluster": dataclasses.asdict(self.cluster),
             "comm": dataclasses.asdict(self.comm),
             "train": dataclasses.asdict(self.train),
+            "exec": dataclasses.asdict(self.exec),
         }
         if self.elastic is not None:
             data["elastic"] = dataclasses.asdict(self.elastic)
@@ -249,6 +276,7 @@ class RunConfig:
             raise ConfigError(f"comm density must be in (0, 1], got {self.comm.density}")
         if self.train.epochs < 1 or self.train.local_batch < 1 or self.train.num_samples < 1:
             raise ConfigError("train epochs, local_batch and num_samples must be >= 1")
+        _validate_exec(self.exec)
         if self.elastic is not None:
             if self.elastic.schedule not in ELASTIC_SCHEDULES:
                 raise ConfigError(
@@ -342,6 +370,9 @@ class SchedConfig:
     policies: tuple = ("bin-pack",)
     #: The job queue (>= 1 job; names unique).
     jobs: tuple = (JobConfig(),)
+    #: Where the per-policy simulations run: the ``process`` backend
+    #: fans the policy grid across cores (results identical to serial).
+    exec: ExecConfig = field(default_factory=ExecConfig)
 
     @classmethod
     def from_dict(cls, data: dict, *, validate: bool = True) -> "SchedConfig":
@@ -367,6 +398,8 @@ class SchedConfig:
             kwargs["jobs"] = tuple(
                 _from_dict(f"jobs[{i}]", job, JobConfig) for i, job in enumerate(jobs)
             )
+        if "exec" in data:
+            kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
         if validate:
             config.validate()
@@ -396,6 +429,7 @@ class SchedConfig:
             "cluster": dataclasses.asdict(self.cluster),
             "policies": list(self.policies),
             "jobs": [dataclasses.asdict(job) for job in self.jobs],
+            "exec": dataclasses.asdict(self.exec),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -447,7 +481,26 @@ class SchedConfig:
                     f"job {job.name!r} wants {gpus} GPUs/node on "
                     f"{self.cluster.gpus_per_node}-GPU nodes"
                 )
+        _validate_exec(self.exec)
         return self
+
+
+def _validate_exec(config: ExecConfig) -> None:
+    """Shared exec-section validation for run and sched configs."""
+    from repro.exec.backend import BACKENDS, START_METHODS
+
+    if config.backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown exec backend {config.backend!r}; "
+            f"registered: {', '.join(BACKENDS.available())}"
+        )
+    if config.jobs < 0:
+        raise ConfigError(f"exec jobs must be >= 0 (0 = all cores), got {config.jobs}")
+    if config.start_method is not None and config.start_method not in START_METHODS:
+        raise ConfigError(
+            f"unknown exec start_method {config.start_method!r}; "
+            f"accepted: {', '.join(START_METHODS)}"
+        )
 
 
 def _parse_override_value(raw: str) -> Any:
@@ -530,6 +583,7 @@ __all__ = [
     "TrainConfig",
     "ElasticConfig",
     "ELASTIC_SCHEDULES",
+    "ExecConfig",
     "RunConfig",
     "JobConfig",
     "SchedConfig",

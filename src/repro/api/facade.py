@@ -85,7 +85,7 @@ class RunReport:
         return self.bench_payload()["text"]
 
 
-def _run_train(config: RunConfig, workload) -> RunReport:
+def _run_train(config: RunConfig, workload, exec_backend=None) -> RunReport:
     # Mirrors ConvergenceRunner.run() so fixed seeds are bit-identical.
     from repro.optim.sgd import SGD
     from repro.train.synthetic import train_val_split
@@ -112,21 +112,25 @@ def _run_train(config: RunConfig, workload) -> RunReport:
         scheme,
         optimizer=SGD(lr=train.lr, momentum=train.momentum),
         seed=config.seed,
+        exec_backend=exec_backend,
     )
     train_x, train_y, val_x, val_y = train_val_split(
         np.asarray(workload.x), np.asarray(workload.y)
     )
     scheme_name = SCHEMES.canonical(config.comm.scheme) or config.comm.scheme
-    report = trainer.train(
-        train_x,
-        train_y,
-        epochs=train.epochs,
-        local_batch=train.local_batch,
-        val_x=val_x,
-        val_y=val_y,
-        evaluate=workload.evaluate,
-        algorithm_name=scheme_name,
-    )
+    try:
+        report = trainer.train(
+            train_x,
+            train_y,
+            epochs=train.epochs,
+            local_batch=train.local_batch,
+            val_x=val_x,
+            val_y=val_y,
+            evaluate=workload.evaluate,
+            algorithm_name=scheme_name,
+        )
+    finally:
+        trainer.close()
     summary = {
         "final_loss": report.epoch_losses[-1],
         "final_metric": report.final_val_metric if report.val_metrics else None,
@@ -147,7 +151,7 @@ def _run_train(config: RunConfig, workload) -> RunReport:
     )
 
 
-def _run_elastic(config: RunConfig, workload) -> RunReport:
+def _run_elastic(config: RunConfig, workload, exec_backend=None) -> RunReport:
     # Mirrors experiments/elastic_churn.py so fixed seeds are bit-identical.
     from repro.cluster.variability import VariabilityModel
     from repro.elastic.elastic_trainer import ElasticTrainer
@@ -191,14 +195,18 @@ def _run_elastic(config: RunConfig, workload) -> RunReport:
         warning_seconds=elastic.warning_seconds,
         timing_d=elastic.timing_d,
         variability=variability,
+        exec_backend=exec_backend,
     )
-    report = trainer.run(
-        workload.x,
-        workload.y,
-        iterations=elastic.iterations,
-        local_batch=config.train.local_batch,
-        schedule=schedule,
-    )
+    try:
+        report = trainer.run(
+            workload.x,
+            workload.y,
+            iterations=elastic.iterations,
+            local_batch=config.train.local_batch,
+            schedule=schedule,
+        )
+    finally:
+        trainer.close()
     cost = account(report, instance=instance)
     summary = {
         "final_loss": report.final_loss,
@@ -251,7 +259,13 @@ def preflight(config: RunConfig) -> None:
 
 
 def run(config: RunConfig) -> RunReport:
-    """Execute one fully-specified run and return its structured report."""
+    """Execute one fully-specified run and return its structured report.
+
+    ``config.exec`` picks the execution backend: ``serial`` keeps the
+    historical inline paths; ``process`` fans the trainer's per-worker
+    compute across a shared-memory pool of ``exec.jobs`` processes —
+    same results to the bit, only the wall-clock changes.
+    """
     config.validate()
     data_seed = (
         config.train.data_seed if config.train.data_seed is not None else config.seed
@@ -261,9 +275,27 @@ def run(config: RunConfig) -> RunReport:
         num_samples=config.train.num_samples,
         rng=new_rng(data_seed),
     )
-    if config.elastic is not None:
-        return _run_elastic(config, workload)
-    return _run_train(config, workload)
+    exec_backend = _build_exec_backend(config.exec)
+    try:
+        if config.elastic is not None:
+            return _run_elastic(config, workload, exec_backend)
+        return _run_train(config, workload, exec_backend)
+    finally:
+        if exec_backend is not None:
+            exec_backend.close()
+
+
+def _build_exec_backend(exec_config):
+    """The configured backend, or ``None`` for the serial fast path."""
+    from repro.exec.backend import BACKENDS, build_backend
+
+    if exec_config is None or BACKENDS.canonical(exec_config.backend) == "serial":
+        return None
+    return build_backend(
+        exec_config.backend,
+        jobs=exec_config.jobs,
+        start_method=exec_config.start_method,
+    )
 
 
 def run_sched(config) -> dict:
@@ -273,10 +305,22 @@ def run_sched(config) -> dict:
     shared virtual cluster and returns ``policy -> SchedReport``
     (insertion-ordered as configured).  Combine into one BENCH payload
     with :func:`repro.sched.payload_for_reports`.
+
+    With ``exec.backend: process`` the per-policy simulations (each
+    fully independent and deterministic) fan across the worker pool;
+    the returned mapping is identical to the serial loop's.
     """
     from repro.sched import compare_policies
 
     config.validate()
+    exec_backend = _build_exec_backend(config.exec)
+    if exec_backend is not None:
+        from repro.exec.sweeper import ParallelSweeper
+
+        try:
+            return ParallelSweeper(exec_backend).run_sched_policies(config)
+        finally:
+            exec_backend.close()
     jobs = [job.to_spec() for job in config.jobs]
     return compare_policies(
         jobs,

@@ -162,6 +162,7 @@ class ElasticTrainer:
         timing_d: int | None = None,
         variability: VariabilityModel | None = None,
         legacy_hotpath: bool = False,
+        exec_backend=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -184,6 +185,11 @@ class ElasticTrainer:
         # Parity escape hatch: route every (re)built trainer through the
         # pre-vectorisation reference step (see DistributedTrainer).
         self.legacy_hotpath = legacy_hotpath
+        # Execution backend shared across rescales: each rebuilt trainer
+        # binds a fresh step engine to the same persistent worker pool,
+        # so a membership change re-sizes the shared (W, d) matrix
+        # without respawning processes.
+        self.exec_backend = exec_backend
         self.membership = MembershipView(
             num_nodes, gpus_per_node, instance=instance, min_nodes=min_nodes
         )
@@ -222,6 +228,7 @@ class ElasticTrainer:
             optimizer=self.optimizer,
             seed=self.seed,
             legacy_hotpath=self.legacy_hotpath,
+            exec_backend=self.exec_backend,
         )
 
     # -- checkpoint / restore --------------------------------------------------
@@ -235,6 +242,7 @@ class ElasticTrainer:
         self, report: ElasticRunReport, x: np.ndarray, y: np.ndarray
     ) -> None:
         """Rescale to the current membership and restore the checkpoint."""
+        self.trainer.close()  # free the outgoing world size's step engine
         new_trainer = self._fresh_trainer()
         meta = load_checkpoint(new_trainer, self._ckpt_path, strict_world=False)
         orphans = meta.get("residuals")
@@ -391,6 +399,14 @@ class ElasticTrainer:
         report.useful_iterations = useful
         report.wall_iterations = wall
         return report
+
+    def close(self) -> None:
+        """Release the current trainer's step engine (shared memory).
+
+        The execution backend itself (the worker pool) belongs to the
+        caller and stays open for reuse.
+        """
+        self.trainer.close()
 
 
 __all__ = ["ElasticTrainer", "ElasticRunReport"]

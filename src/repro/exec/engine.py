@@ -1,0 +1,155 @@
+"""The shared-memory step engine: per-worker compute on real cores.
+
+:class:`ProcessStepEngine` binds one :class:`~repro.train.trainer.
+DistributedTrainer` to a :class:`~repro.exec.backend.ProcessBackend`
+pool.  At bind time it
+
+* moves the trainer's preallocated ``(W, d)`` fusion matrix into a
+  shared-memory block (aggregation in the parent keeps reading the very
+  same pages — the zero-copy hot path of PR 3 survives intact),
+* allocates a shared flat parameter buffer the parent refreshes before
+  each dispatch, and
+* partitions the ``W`` virtual workers into one contiguous row chunk
+  per pool worker.
+
+Each ``run_step`` ships only row indices and the (small) per-worker
+batches over the pipes; gradients come back through the shared matrix.
+Results merge in row order — the float accumulation order of losses and
+metrics matches the serial loop exactly, so the engine is bit-identical
+to ``serial`` (pinned by ``tests/perf/test_vectorized_parity.py``).
+Per-phase worker timings fold into the trainer's
+:class:`~repro.perf.hotpath.PhaseTimer` via ``merge`` so compute done
+off the main process still shows up in the profile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.shm import SharedArray
+from repro.exec.worker import BIND, RELEASE, STEP, EngineSpec
+
+
+def _chunk_rows(world_size: int, jobs: int) -> list[list[int]]:
+    """Contiguous, nearly-equal row chunks (first chunks get the spill)."""
+    jobs = max(1, min(jobs, world_size))
+    base, spill = divmod(world_size, jobs)
+    chunks: list[list[int]] = []
+    start = 0
+    for i in range(jobs):
+        size = base + (1 if i < spill else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+class ProcessStepEngine:
+    """Fans one trainer's per-worker forward/backward across the pool."""
+
+    def __init__(self, backend, trainer) -> None:
+        self.backend = backend
+        self.engine_id = backend.allocate_engine_id()
+        world = trainer.world_size
+        self._chunks = _chunk_rows(world, backend.jobs)
+        self._grad = SharedArray.create((world, trainer.grad_dim))
+        self._params = SharedArray.create((trainer.grad_dim,))
+        self._param_names = list(trainer._param_names)
+        self._slices = list(trainer._grad_slices)
+        spec = EngineSpec(
+            model=trainer.model,
+            param_names=self._param_names,
+            shapes=[tuple(s) for s in trainer._grad_shapes],
+            slices=[(int(sl.start), int(sl.stop)) for sl in self._slices],
+            grad_spec=self._grad.spec(),
+            param_spec=self._params.spec(),
+        )
+        self._workers = backend._ensure_workers(len(self._chunks))
+        for worker in self._workers:
+            worker.request((BIND, self.engine_id, spec))
+        # The trainer's fusion buffer *is* the shared block from here on.
+        trainer._grad_matrix = self._grad.array
+        self._trainer = trainer
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self, trainer, batches: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[list[float], dict[str, float]]:
+        """Compute every worker row; returns ``(losses, metric_sums)``.
+
+        The shared gradient matrix holds each worker's fused gradient on
+        return; the caller aggregates it exactly as the serial path does.
+        """
+        if self._closed:
+            raise RuntimeError("step engine is closed")
+        flat = self._params.array
+        for name, sl in zip(self._param_names, self._slices):
+            flat[sl] = trainer.params[name].reshape(-1)
+        active = []
+        for worker, rows in zip(self._workers, self._chunks):
+            worker.conn.send(
+                (STEP, self.engine_id, rows, [batches[row] for row in rows])
+            )
+            active.append(worker)
+        per_row: list[tuple[float, dict[str, float]] | None] = [None] * len(batches)
+        phase_seconds: dict[str, float] = {}
+        phase_calls: dict[str, int] = {}
+        error: BaseException | None = None
+        for worker in active:
+            # Always consume every outstanding reply, even after a
+            # failure: an abandoned reply would desync the pool's
+            # sequence-number-free request/reply pairing.
+            try:
+                chunk = worker.reply()
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+                continue
+            for row, loss, metrics, phases in chunk:
+                per_row[row] = (loss, metrics)
+                for phase, seconds in phases.items():
+                    phase_seconds[phase] = phase_seconds.get(phase, 0.0) + seconds
+                    phase_calls[phase] = phase_calls.get(phase, 0) + 1
+        if error is not None:
+            raise error
+        if trainer.timer is not None and phase_seconds:
+            trainer.timer.merge(phase_seconds, calls=phase_calls)
+        losses: list[float] = []
+        metric_sums: dict[str, float] = {}
+        for entry in per_row:
+            assert entry is not None, "pool worker dropped a row"
+            loss, metrics = entry
+            losses.append(loss)
+            for key, value in metrics.items():
+                metric_sums[key] = metric_sums.get(key, 0.0) + value
+        return losses, metric_sums
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release worker-side bindings and free the shared blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.request((RELEASE, self.engine_id))
+            except (OSError, EOFError, BrokenPipeError, RuntimeError):
+                pass  # pragma: no cover - pool already torn down
+        # Hand the trainer a private copy so the shared block's buffer is
+        # no longer exported (an ndarray view would block the unlink) and
+        # the trainer stays usable after the engine is gone.
+        self._trainer._grad_matrix = np.array(self._grad.array)
+        self._trainer = None
+        self._grad.close()
+        self._params.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["ProcessStepEngine"]

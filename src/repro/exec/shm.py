@@ -1,0 +1,130 @@
+"""Shared-memory ndarrays for the multicore execution engine.
+
+:class:`SharedArray` wraps :class:`multiprocessing.shared_memory.SharedMemory`
+with the two lifecycles the worker pool needs:
+
+* the **owner** (the parent process) creates a named block sized for an
+  ndarray and eventually both closes *and* unlinks it;
+* an **attacher** (a pool worker) maps the same block by name into a
+  NumPy view and only closes its mapping on release.
+
+Gradients flow through these blocks zero-copy: workers write their rows
+of the ``(W, d)`` fusion matrix directly into the mapping, and the
+parent's aggregation reads the very same pages — no pickling of
+gradient payloads, ever.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+@contextlib.contextmanager
+def _attach_untracked():
+    """Suppress resource-tracker registration while attaching.
+
+    Pool workers share the parent's resource-tracker process, whose
+    cache is keyed by block *name*: letting an attach register (and a
+    worker exit unregister) the parent's block corrupts that shared
+    entry and the tracker logs spurious KeyErrors/leak warnings.
+    Ownership is strictly the creator's here; Python 3.13 grew
+    ``SharedMemory(track=False)`` for exactly this, older versions need
+    the register call silenced around the attach.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - always present on CPython
+        yield
+        return
+    original = resource_tracker.register
+
+    def _register_except_shm(name, rtype):  # pragma: no cover - trivial
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArray:
+    """A NumPy array backed by a named shared-memory block.
+
+    Construct through :meth:`create` (owner side) or :meth:`attach`
+    (worker side); ``array`` is the live ndarray view.  ``close`` drops
+    this process's mapping; the owner's ``close`` also unlinks the block
+    from the system.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+
+    # -- lifecycles --------------------------------------------------------
+    @classmethod
+    def create(cls, shape: tuple[int, ...], dtype=np.float64) -> "SharedArray":
+        """Owner side: allocate a zeroed block sized for ``shape``."""
+        dtype = np.dtype(dtype)
+        size = max(1, int(np.prod(shape))) * dtype.itemsize
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        out = cls(shm, shape, dtype, owner=True)
+        out.array.fill(0)
+        return out
+
+    @classmethod
+    def attach(cls, name: str, shape: tuple[int, ...], dtype=np.float64) -> "SharedArray":
+        """Worker side: map an existing block by name."""
+        with _attach_untracked():
+            shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, tuple(shape), np.dtype(dtype), owner=False)
+
+    @property
+    def name(self) -> str:
+        """The system-wide block name workers attach by."""
+        return self._shm.name
+
+    def spec(self) -> tuple[str, tuple[int, ...], str]:
+        """``(name, shape, dtype-str)`` — everything attach needs, picklable."""
+        return (self.name, self.shape, self.dtype.str)
+
+    def close(self) -> None:
+        """Drop this mapping; the owner also unlinks the system block."""
+        if self._shm is None:
+            return
+        # The ndarray view pins the exported buffer; release it first so
+        # SharedMemory.close() does not raise BufferError.
+        self.array = None
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            return
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+__all__ = ["SharedArray"]

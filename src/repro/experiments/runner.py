@@ -4,6 +4,12 @@
 regenerates all tables/figures; ``--fast`` trims the expensive sweeps
 (Fig. 6 CPU measurement, long convergence runs, the elastic churn sweep)
 and ``--only`` substring-filters by experiment name.
+
+``--backend process --jobs N`` fans the selected harnesses across a
+:mod:`repro.exec` worker pool — each harness is independent and seeded,
+so outputs are identical to the serial run; stdout is captured per
+harness and printed in paper order, so the transcript is deterministic
+too (only the per-harness timings move).
 """
 
 from __future__ import annotations
@@ -51,6 +57,45 @@ EXPERIMENTS = (
 FAST_AWARE = ("Fig. 6", "Fig. 10", "Elastic churn", "Multi-tenant sched")
 
 
+def _selected(only: str | None) -> list[tuple[str, object]]:
+    return [
+        (name, entry)
+        for name, entry in EXPERIMENTS
+        if not only or only.lower() in name.lower()
+    ]
+
+
+def _run_serial(selected, fast: bool) -> None:
+    for name, entry in selected:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        start = time.perf_counter()
+        if fast and name in FAST_AWARE:
+            entry(fast=True)
+        else:
+            entry()
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+
+
+def _run_parallel(selected, fast: bool, backend: str, jobs: int) -> None:
+    from repro.exec.sweeper import ParallelSweeper
+
+    sweeper = ParallelSweeper(backend, jobs=jobs)
+    entries = [
+        (name, entry.__module__, fast and name in FAST_AWARE)
+        for name, entry in selected
+    ]
+    start = time.perf_counter()
+    outputs = sweeper.run_experiments(entries)
+    elapsed = time.perf_counter() - start
+    for name, text in outputs:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        print(text, end="" if text.endswith("\n") else "\n")
+    print(
+        f"[{len(outputs)} experiments done in {elapsed:.1f}s "
+        f"on backend {backend!r}, jobs={jobs}]"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -64,18 +109,44 @@ def main(argv: list[str] | None = None) -> int:
         help="trim the expensive sweeps (Fig. 6 CPU measurement, "
         "long convergence runs, the elastic churn sweep)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for the harness fan-out (serial runs "
+        "in-process and streams output live; --jobs alone implies "
+        "process, but a named backend always wins)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel backends (0 = all cores)",
+    )
     args = parser.parse_args(argv)
 
-    for name, entry in EXPERIMENTS:
-        if args.only and args.only.lower() not in name.lower():
-            continue
-        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
-        start = time.perf_counter()
-        if args.fast and name in FAST_AWARE:
-            entry(fast=True)
-        else:
-            entry()
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]")
+    selected = _selected(args.only)
+    if not selected:
+        print(f"no experiment matches --only {args.only!r}", file=sys.stderr)
+        return 2
+    from repro.exec.backend import BACKENDS
+
+    # Same rule as `repro run`/`sched`: --jobs alone implies the process
+    # backend, but an explicitly named backend always wins.
+    name = args.backend
+    if name is None:
+        name = "serial" if args.jobs == 1 else "process"
+    canonical = BACKENDS.canonical(name)
+    if canonical is None:
+        print(
+            f"error: unknown exec backend {name!r}; "
+            f"registered: {', '.join(BACKENDS.available())}",
+            file=sys.stderr,
+        )
+        return 2
+    if canonical == "serial":
+        _run_serial(selected, args.fast)
+    else:
+        _run_parallel(selected, args.fast, canonical, args.jobs)
     return 0
 
 

@@ -56,6 +56,34 @@ class PhaseTimer:
         finally:
             self.add(name, time.perf_counter() - start)
 
+    def merge(self, other, *, calls: dict[str, int] | None = None) -> None:
+        """Fold another timer's phases into this one.
+
+        ``other`` is a :class:`PhaseTimer` or a plain ``phase ->
+        seconds`` mapping (what pool workers ship back over the pipe);
+        ``calls`` optionally carries the matching call counts (defaults
+        to the other timer's counts, or 1 per phase for a bare mapping).
+
+        This is how off-process work stays visible: the ``process``
+        execution backend times ``forward_backward`` / ``fuse`` inside
+        its pool workers and merges them here, so per-phase shares no
+        longer undercount compute that never ran on the main process.
+        Note the merged seconds are *CPU seconds across the pool* — with
+        ``jobs`` workers they can legitimately exceed the step's
+        wall-clock.
+        """
+        if isinstance(other, PhaseTimer):
+            seconds = other.seconds
+            if calls is None:
+                calls = other.calls
+        else:
+            seconds = dict(other)
+        for phase, value in seconds.items():
+            self.seconds[phase] = self.seconds.get(phase, 0.0) + value
+            self.calls[phase] = self.calls.get(phase, 0) + (
+                calls.get(phase, 1) if calls else 1
+            )
+
     def reset(self) -> None:
         self.seconds.clear()
         self.calls.clear()

@@ -83,6 +83,14 @@ class DistributedTrainer:
         path (per-worker ``flatten_tensors`` + the per-rank loops of
         :func:`repro.comm.legacy.legacy_aggregate`).  Kept for parity
         tests and perf baselining; results are bit-identical.
+    exec_backend:
+        Optional :mod:`repro.exec` backend deciding where per-worker
+        forward/backward runs.  ``None`` (and the ``serial`` backend)
+        keep the inline loop; a :class:`~repro.exec.ProcessBackend`
+        binds a shared-memory step engine that fans workers across real
+        CPU cores — bit-identical to serial, pinned by
+        ``tests/perf/test_vectorized_parity.py``.  Call :meth:`close`
+        when done to release the engine's shared blocks.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class DistributedTrainer:
         seed: int = 0,
         timer=None,
         legacy_hotpath: bool = False,
+        exec_backend=None,
     ) -> None:
         self.model = model
         self.scheme = scheme
@@ -123,6 +132,12 @@ class DistributedTrainer:
         # Worker-fused compute: models that can run all workers' batches
         # through one blocked tape pass advertise loss_and_grad_workers.
         self._fused_compute = hasattr(model, "loss_and_grad_workers")
+        # Execution engine: a non-serial backend replaces the fusion
+        # buffer with a shared-memory block and fans the per-worker
+        # compute across its pool (the engine rebinds _grad_matrix).
+        self._engine = (
+            exec_backend.step_engine(self) if exec_backend is not None else None
+        )
 
     # ------------------------------------------------------------------
     def _shard_data(
@@ -146,6 +161,13 @@ class DistributedTrainer:
             )
         if self.legacy_hotpath:
             return self._train_step_legacy(batches)
+
+        if self._engine is not None:
+            # The engine fills the (shared) fusion buffer off-process and
+            # returns losses/metrics in row order — the same accumulation
+            # order as the inline loops below.
+            losses, metric_sums = self._engine.run_step(self, batches)
+            return self._aggregate_and_apply(losses, metric_sums)
 
         if self._fused_compute and self._fusable_batches(batches):
             return self._train_step_fused(batches)
@@ -339,6 +361,16 @@ class DistributedTrainer:
             if val_x is not None and val_y is not None and evaluate is not None:
                 report.val_metrics.append(float(evaluate(self.params, val_x, val_y)))
         return report
+
+    def close(self) -> None:
+        """Release the execution engine (shared memory + worker bindings).
+
+        Serial trainers are a no-op; the trainer itself stays usable
+        afterwards (subsequent steps run inline).
+        """
+        engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()
 
 
 __all__ = ["DistributedTrainer", "TrainingReport", "TrainableModel"]

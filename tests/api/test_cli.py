@@ -25,7 +25,7 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         for header in ("schemes:", "compressors:", "models:", "clusters:",
-                       "policies:", "experiments:"):
+                       "policies:", "backends:", "experiments:"):
             assert header in out
         assert "Fig. 10" in out
         assert "tencent" in out

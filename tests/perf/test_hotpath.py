@@ -40,6 +40,63 @@ class TestPhaseTimer:
         assert timer.shares() == {}
         assert timer.total == 0.0
 
+    def test_merge_mapping_with_calls(self):
+        timer = PhaseTimer()
+        timer.add("aggregate", 1.0)
+        timer.merge(
+            {"forward_backward": 2.0, "fuse": 0.5},
+            calls={"forward_backward": 4, "fuse": 4},
+        )
+        assert timer.summary() == {
+            "aggregate": 1.0,
+            "forward_backward": 2.0,
+            "fuse": 0.5,
+        }
+        assert timer.calls == {"aggregate": 1, "forward_backward": 4, "fuse": 4}
+
+    def test_merge_mapping_defaults_one_call_per_phase(self):
+        timer = PhaseTimer()
+        timer.merge({"forward_backward": 1.5})
+        assert timer.calls == {"forward_backward": 1}
+
+    def test_merge_other_timer(self):
+        worker = PhaseTimer()
+        worker.add("forward_backward", 0.25)
+        worker.add("forward_backward", 0.25)
+        parent = PhaseTimer()
+        parent.add("aggregate", 0.5)
+        parent.merge(worker)
+        assert parent.summary() == {"aggregate": 0.5, "forward_backward": 0.5}
+        assert parent.calls == {"aggregate": 1, "forward_backward": 2}
+
+    def test_pool_worker_phases_reach_parent_timer(self):
+        """The process backend's off-main-process compute is not dropped:
+        per-phase shares include worker-side forward_backward/fuse."""
+        from repro.exec.backend import ProcessBackend
+        from repro.train.trainer import DistributedTrainer
+
+        workload = build_workload("mlp-tiny", num_samples=64, rng=new_rng(2))
+        network = build_cluster("tencent", 2, gpus_per_node=2)
+        batches = worker_batches(workload.x, workload.y, 4, 8)
+        with ProcessBackend(jobs=2) as pool:
+            trainer = DistributedTrainer(
+                workload.model,
+                build_scheme("dense", network),
+                seed=0,
+                exec_backend=pool,
+            )
+            timer = PhaseTimer()
+            trainer.timer = timer
+            try:
+                trainer.train_step(batches)
+            finally:
+                trainer.close()
+        phases = timer.summary()
+        assert {"forward_backward", "fuse", "aggregate", "apply"} <= set(phases)
+        assert phases["forward_backward"] > 0.0
+        # One worker-side record per phase per row reached the parent.
+        assert timer.calls["forward_backward"] == 4
+
 
 @pytest.fixture(scope="module")
 def mlp_setup():

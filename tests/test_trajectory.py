@@ -87,6 +87,26 @@ class TestCollect:
         trajectory = json.loads((tmp_path / "TRAJECTORY.json").read_text())
         assert set(trajectory["benches"]) == {"fresh"}
 
+    def test_run_payloads_skipped_by_default(self, tmp_path):
+        """BENCH_*_run.json fresh measurements shadow their committed
+        baselines (same bench name), so they are skipped by default."""
+        write_bench(tmp_path, "alpha", 1.0)
+        write_bench(tmp_path, "alpha_run", 9.0)
+        trajectory = run_trajectory(tmp_path, "c1")
+        assert set(trajectory["benches"]) == {"alpha"}
+
+    def test_include_runs_opts_back_in(self, tmp_path):
+        write_bench(tmp_path, "alpha", 1.0)
+        write_bench(tmp_path, "alpha_run", 9.0)
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--results-dir", str(tmp_path),
+             "--commit", "c1", "--include-runs"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        trajectory = json.loads((tmp_path / "TRAJECTORY.json").read_text())
+        assert set(trajectory["benches"]) == {"alpha", "alpha_run"}
+
     def test_no_payloads_errors(self, tmp_path):
         proc = subprocess.run(
             [sys.executable, str(SCRIPT), "--results-dir", str(tmp_path),
