@@ -1,0 +1,111 @@
+"""CI gate on trace-replay determinism and throughput.
+
+Compares a freshly produced ``BENCH_trace_replay_run.json`` against the
+committed ``results/BENCH_trace_replay.json`` baseline and enforces the
+trace-scale acceptance bar:
+
+* **determinism** (hard, every host) — ``meta.determinism_ok`` must be
+  true: replaying the same seeded trace twice produced bit-identical
+  distribution rows.  The fast path is pure simulation, so this never
+  depends on the machine;
+* **wall-clock ceiling** (hard, every host) — the 10k-job day must
+  finish within ``--max-seconds`` (default 60 s, the repo's "replay a
+  day on a laptop" bar; a dev container clears it with ~3x headroom);
+* **throughput floor** (hard, every host) — the 10k-job replay must
+  sustain ``--min-jobs-per-sec`` (default 100).  The floor is set well
+  below any real host so it gates algorithmic bit-rot (an accidental
+  O(queue) scan resurfacing), not runner speed;
+* **baseline drift** (advisory) — jobs/sec is an absolute number, so a
+  drop against the committed baseline only prints a note; host speed
+  differences would otherwise flake the gate.
+
+Usage (as the CI ``trace-smoke`` job does)::
+
+    python -m pytest benchmarks/bench_trace_replay.py -q --benchmark-disable
+    python benchmarks/check_trace_regression.py \
+        --baseline results/BENCH_trace_replay.json \
+        --current results/BENCH_trace_replay_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+THROUGHPUT_KEY = "jobs_per_sec_10k"
+SECONDS_KEY = "seconds_10k"
+
+
+def load_meta(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text())
+    meta = payload.get("meta", {})
+    for key in ("cpu_count", "determinism_ok", THROUGHPUT_KEY, SECONDS_KEY):
+        if key not in meta:
+            raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
+    return meta
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_trace_replay.json")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_trace_replay_run.json")
+    parser.add_argument("--max-seconds", type=float, default=60.0,
+                        help="wall-clock ceiling for the 10k-job replay")
+    parser.add_argument("--min-jobs-per-sec", type=float, default=100.0,
+                        help="absolute 10k-scale throughput floor")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="fractional jobs/sec drop vs baseline that "
+                             "triggers the advisory note")
+    args = parser.parse_args(argv)
+
+    base = load_meta(args.baseline)
+    cur = load_meta(args.current)
+    seconds = float(cur[SECONDS_KEY])
+    rate = float(cur[THROUGHPUT_KEY])
+    failures = []
+
+    if not cur["determinism_ok"]:
+        failures.append("determinism_ok is false: repeat replay diverged")
+    else:
+        print("ok: repeat replay bit-identical")
+
+    status = "ok" if seconds <= args.max_seconds else "FAIL"
+    print(
+        f"{status}: 10k-job day replayed in {seconds:.1f}s "
+        f"(ceiling {args.max_seconds:.0f}s, {cur['cpu_count']} cores)"
+    )
+    if status == "FAIL":
+        failures.append(SECONDS_KEY)
+
+    status = "ok" if rate >= args.min_jobs_per_sec else "FAIL"
+    print(
+        f"{status}: {rate:.0f} jobs/s at 10k scale "
+        f"(floor {args.min_jobs_per_sec:.0f})"
+    )
+    if status == "FAIL":
+        failures.append(THROUGHPUT_KEY)
+
+    base_rate = float(base[THROUGHPUT_KEY])
+    floor = base_rate * (1.0 - args.threshold)
+    if rate < floor:
+        print(
+            f"note: jobs/s fell to {rate:.0f} from baseline {base_rate:.0f} "
+            f"(measured on {base['cpu_count']} cores) — advisory only, "
+            f"absolute throughput does not transfer between hosts"
+        )
+    else:
+        print(f"ok: within {args.threshold:.0%} of baseline {base_rate:.0f} jobs/s")
+
+    if failures:
+        print(f"FAIL: trace replay gate: {failures}")
+        return 1
+    print("ok: trace replay within the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,22 @@ Subcommands::
 
     repro run --config cfg.json [--set key=value ...] [--json] [--out PATH]
               [--backend NAME] [--jobs N]
-    repro sched --config cfg.json [--set key=value ...] [--json] [--out PATH]
-              [--backend NAME] [--jobs N]
+    repro sched (--config cfg.json | --trace PATH) [--set key=value ...]
+              [--json] [--out PATH] [--backend NAME] [--jobs N]
+    repro trace gen --out PATH [--num-jobs N] [--seed S] [--duration-hours H]
+              [--payload-fraction F] [--format jsonl|csv]
+    repro trace validate PATH [--json]
     repro list [schemes|compressors|models|clusters|policies|backends|experiments]
     repro experiments [--only SUBSTR] [--fast] [--backend NAME] [--jobs N]
 
 ``run`` executes one declarative :class:`~repro.api.config.RunConfig`;
 ``sched`` simulates a multi-tenant
 :class:`~repro.api.config.SchedConfig` scenario (one run per configured
-placement policy); ``list`` enumerates the registries (and the
-experiment harnesses); ``experiments`` delegates to
+placement policy) — with ``--trace`` the job queue comes from a cluster
+trace (``docs/traces.md``) and the payload reports JCT / queue-wait /
+slowdown *distributions* instead of per-job rows; ``trace gen`` /
+``trace validate`` create and check traces; ``list`` enumerates the
+registries (and the experiment harnesses); ``experiments`` delegates to
 :mod:`repro.experiments.runner`.  ``--backend``/``--jobs`` pick the
 :mod:`repro.exec` execution backend (``--set exec.backend=...``
 shorthand): ``process`` fans work across CPU cores, bit-identical to
@@ -23,6 +29,7 @@ serial.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -81,7 +88,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "sched", help="simulate a multi-tenant scheduling scenario"
     )
     sched_p.add_argument(
-        "--config", required=True, help="path to a SchedConfig JSON file"
+        "--config", default=None, help="path to a SchedConfig JSON file"
+    )
+    sched_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="replay a cluster trace (.jsonl file or CSV directory, see "
+        "docs/traces.md) instead of the config's inline jobs; without "
+        "--config the scenario defaults to 16 8-GPU tencent nodes",
     )
     sched_p.add_argument(
         "--set",
@@ -101,6 +116,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH", help="also write the JSON payload here"
     )
     _add_exec_flags(sched_p)
+
+    trace_p = sub.add_parser(
+        "trace", help="generate or validate cluster traces (docs/traces.md)"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command")
+    gen_p = trace_sub.add_parser(
+        "gen", help="generate a seeded synthetic trace"
+    )
+    gen_p.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="output path (.jsonl file, or a directory with --format csv)",
+    )
+    gen_p.add_argument(
+        "--num-jobs", type=int, default=1000, metavar="N",
+        help="exact job count (default: 1000)",
+    )
+    gen_p.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default: 0)"
+    )
+    gen_p.add_argument(
+        "--duration-hours", type=float, default=24.0, metavar="H",
+        help="trace horizon in hours (default: 24)",
+    )
+    gen_p.add_argument(
+        "--payload-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of jobs carrying a real training payload "
+        "(default: 0 = pure closed-form replay)",
+    )
+    gen_p.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl",
+        help="on-disk layout (default: jsonl)",
+    )
+    val_p = trace_sub.add_parser(
+        "validate", help="parse a trace, resolve workloads, print stats"
+    )
+    val_p.add_argument("path", help="trace path (.jsonl file or CSV directory)")
+    val_p.add_argument(
+        "--json", action="store_true", help="print the stats as JSON"
+    )
 
     list_p = sub.add_parser("list", help="enumerate registered components")
     list_p.add_argument(
@@ -222,19 +276,47 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     # Same error contract as `run`: user mistakes exit 2 with one line,
     # anything past validation is a real bug and keeps its traceback.
     from repro.sched import payload_for_reports
+    from repro.sched.traces import payload_for_trace_reports
 
     try:
-        config = SchedConfig.from_file(args.config)
+        if args.config is None and args.trace is None:
+            raise ValueError("sched needs --config and/or --trace")
+        if args.config is not None:
+            config = SchedConfig.from_file(args.config)
+        else:
+            # Trace-only invocation: a production-ish default scenario.
+            config = SchedConfig.from_dict(
+                {
+                    "name": "trace",
+                    "cluster": {
+                        "instance": "tencent",
+                        "num_nodes": 16,
+                        "gpus_per_node": 8,
+                    },
+                    "trace": args.trace,
+                },
+                validate=False,
+            )
+        if args.trace is not None:
+            config = dataclasses.replace(config, trace=args.trace)
         overrides = list(args.overrides) + _exec_overrides(args)
         if overrides:
             config = apply_sched_overrides(config, overrides)
+        config.validate()
         reports = run_sched(config)
     except (ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    payload = payload_for_reports(
-        list(reports.values()), bench=f"sched_{config.name}"
-    )
+    if config.trace is not None:
+        payload = payload_for_trace_reports(
+            list(reports.values()),
+            bench=f"trace_{config.name}",
+            trace=config.trace,
+        )
+    else:
+        payload = payload_for_reports(
+            list(reports.values()), bench=f"sched_{config.name}"
+        )
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -248,6 +330,60 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Same error contract as `run`/`sched`: malformed input exits 2 with
+    # one line (TraceError subclasses ValueError).
+    from repro.sched.traces import (
+        SyntheticTraceConfig,
+        generate_trace,
+        load_trace,
+        trace_stats,
+        trace_to_specs,
+        write_trace,
+        write_trace_csv,
+    )
+
+    if args.trace_command == "gen":
+        try:
+            config = SyntheticTraceConfig(
+                num_jobs=args.num_jobs,
+                seed=args.seed,
+                duration_seconds=args.duration_hours * 3600.0,
+                payload_fraction=args.payload_fraction,
+            )
+            trace = generate_trace(config)
+            if args.format == "csv":
+                out = write_trace_csv(trace, args.out)
+            else:
+                out = write_trace(trace, args.out)
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {len(trace.jobs)} jobs "
+            f"({sum(1 for t in trace.tasks if t.payload is not None)} with "
+            f"payloads, seed {args.seed}) to {out}"
+        )
+        return 0
+    if args.trace_command == "validate":
+        try:
+            trace = load_trace(args.path)
+            specs = trace_to_specs(trace)  # resolves workloads/schemes
+            stats = trace_stats(trace)
+        except (ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            for key, value in stats.items():
+                print(f"{key}: {value}")
+            print(f"ok: {len(specs)} schedulable jobs")
+        return 0
+    print("error: trace needs a subcommand (gen | validate)", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -258,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sched":
         return _cmd_sched(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "list":
         return _cmd_list(args.group)
     if args.command == "experiments":

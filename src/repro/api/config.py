@@ -338,14 +338,27 @@ class JobConfig:
     gpus_per_node: int | None = None
     #: Submission time on the virtual clock, seconds >= 0.
     arrival_seconds: float = 0.0
+    #: Optional training payload (:class:`repro.sched.TrainPayload`
+    #: fields as a mapping, e.g. ``{"model": "mlp-tiny", "seed": 3}``);
+    #: payload jobs replay their scheduler-decided allocation history
+    #: through the real ElasticTrainer after the simulation.
+    payload: dict | None = None
 
     def to_spec(self):
         """Build the runtime :class:`repro.sched.JobSpec` (validates)."""
-        from repro.sched.job import JobSpec
+        from repro.sched.job import JobSpec, TrainPayload
 
+        data = dataclasses.asdict(self)
+        payload = data.pop("payload", None)
         try:
-            return JobSpec(**dataclasses.asdict(self))
-        except (ValueError, KeyError) as exc:
+            if payload is not None:
+                if not isinstance(payload, dict):
+                    raise ValueError(
+                        f"payload must be a mapping, got {type(payload).__name__}"
+                    )
+                data["payload"] = TrainPayload(**payload)
+            return JobSpec(**data)
+        except (TypeError, ValueError, KeyError) as exc:
             raise ConfigError(f"job {self.name!r}: {exc}") from exc
 
 
@@ -368,8 +381,14 @@ class SchedConfig:
     #: policies``); built-ins: ``bin-pack`` / ``spread`` /
     #: ``network-aware``.
     policies: tuple = ("bin-pack",)
-    #: The job queue (>= 1 job; names unique).
+    #: The job queue (>= 1 job; names unique).  Ignored when ``trace``
+    #: is set (the two are mutually exclusive in config files).
     jobs: tuple = (JobConfig(),)
+    #: Path to a cluster trace (``.jsonl`` file or PAI-style CSV
+    #: directory; see ``docs/traces.md``).  When set, the job queue is
+    #: loaded from the trace instead of ``jobs`` and the CLI reports
+    #: JCT/queue-wait distributions instead of per-job rows.
+    trace: str | None = None
     #: Where the per-policy simulations run: the ``process`` backend
     #: fans the policy grid across cores (results identical to serial).
     exec: ExecConfig = field(default_factory=ExecConfig)
@@ -391,6 +410,11 @@ class SchedConfig:
             if not isinstance(policies, (list, tuple)):
                 raise ConfigError("'policies' must be a list of policy names")
             kwargs["policies"] = tuple(policies)
+        if "jobs" in data and "trace" in data and data["trace"] is not None:
+            raise ConfigError(
+                "'jobs' and 'trace' are mutually exclusive: a trace IS the "
+                "job queue"
+            )
         if "jobs" in data:
             jobs = data["jobs"]
             if not isinstance(jobs, (list, tuple)):
@@ -398,6 +422,10 @@ class SchedConfig:
             kwargs["jobs"] = tuple(
                 _from_dict(f"jobs[{i}]", job, JobConfig) for i, job in enumerate(jobs)
             )
+        if "trace" in data and data["trace"] is not None:
+            if not isinstance(data["trace"], str) or not data["trace"]:
+                raise ConfigError("'trace' must be a non-empty path string")
+            kwargs["trace"] = data["trace"]
         if "exec" in data:
             kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
@@ -428,7 +456,13 @@ class SchedConfig:
             "seed": self.seed,
             "cluster": dataclasses.asdict(self.cluster),
             "policies": list(self.policies),
-            "jobs": [dataclasses.asdict(job) for job in self.jobs],
+            # jobs/trace are mutually exclusive; emit whichever is live
+            # so the dict survives a from_dict round trip.
+            **(
+                {"trace": self.trace}
+                if self.trace is not None
+                else {"jobs": [dataclasses.asdict(job) for job in self.jobs]}
+            ),
             "exec": dataclasses.asdict(self.exec),
         }
 
@@ -463,6 +497,14 @@ class SchedConfig:
             raise ConfigError(
                 f"policies resolve to duplicate entries: {', '.join(duplicates)}"
             )
+        if self.trace is not None:
+            if not isinstance(self.trace, str) or not self.trace:
+                raise ConfigError("'trace' must be a non-empty path string")
+            # Trace contents (existence, referential integrity, workload
+            # names) are validated when the trace is loaded at run time;
+            # the inline-jobs checks below do not apply.
+            _validate_exec(self.exec)
+            return self
         if not self.jobs:
             raise ConfigError("sched 'jobs' must contain at least one job")
         names = [job.name for job in self.jobs]

@@ -311,6 +311,7 @@ def run_sched(config) -> dict:
     the returned mapping is identical to the serial loop's.
     """
     from repro.sched import compare_policies
+    from repro.sched.traces import job_specs_for
 
     config.validate()
     exec_backend = _build_exec_backend(config.exec)
@@ -321,7 +322,7 @@ def run_sched(config) -> dict:
             return ParallelSweeper(exec_backend).run_sched_policies(config)
         finally:
             exec_backend.close()
-    jobs = [job.to_spec() for job in config.jobs]
+    jobs = job_specs_for(config)
     return compare_policies(
         jobs,
         config.policies,

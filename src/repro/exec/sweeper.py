@@ -119,13 +119,16 @@ def _task_sched_policy(task: tuple[dict, str]) -> Any:
     """Pool task: one sched scenario under one placement policy."""
     from repro.api.config import SchedConfig
     from repro.sched import compare_policies
+    from repro.sched.traces import job_specs_for
 
     payload, policy = task
     data = dict(payload)
     data["policies"] = [policy]
     data["exec"] = {"backend": "serial", "jobs": 1}
     config = SchedConfig.from_dict(data)
-    jobs = [job.to_spec() for job in config.jobs]
+    # Trace configs resolve here, in the worker: only the path crosses
+    # the process boundary, and each worker parses the trace itself.
+    jobs = job_specs_for(config)
     reports = compare_policies(
         jobs,
         [policy],

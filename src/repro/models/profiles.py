@@ -254,11 +254,21 @@ PROFILES = {
 }
 
 
+#: Built profiles by canonical key.  ModelProfile is frozen and its
+#: inventory tuples immutable, so sharing one instance is safe — and
+#: trace-scale scheduling resolves profiles millions of times, where
+#: rebuilding the 161-tensor ResNet inventory each call dominated.
+_PROFILE_CACHE: dict[str, ModelProfile] = {}
+
+
 def get_profile(name: str) -> ModelProfile:
     key = name.lower().replace("-", "").replace("_", "")
     for profile_key, factory in PROFILES.items():
         if profile_key.replace("_", "") == key:
-            return factory()
+            profile = _PROFILE_CACHE.get(profile_key)
+            if profile is None:
+                profile = _PROFILE_CACHE[profile_key] = factory()
+            return profile
     raise KeyError(f"unknown profile {name!r}; available: {sorted(PROFILES)}")
 
 

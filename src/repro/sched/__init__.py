@@ -35,6 +35,7 @@ from repro.sched.job import (
     SCHEME_KINDS,
     JobRecord,
     JobSpec,
+    TrainPayload,
     scheme_kind_of,
 )
 from repro.sched.policies import (
@@ -55,6 +56,7 @@ from repro.sched.scheduler import (
 __all__ = [
     "JobSpec",
     "JobRecord",
+    "TrainPayload",
     "SCHEME_KINDS",
     "scheme_kind_of",
     "PREFERENCES",

@@ -65,6 +65,57 @@ def scheme_kind_of(scheme: str) -> SchemeKind:
 
 
 @dataclass(frozen=True)
+class TrainPayload:
+    """An actual trainable workload attached to a scheduled job.
+
+    The scheduler core stays closed-form for *every* job — placement,
+    contention and completion times come from the
+    :class:`~repro.perf.iteration_model.IterationModel` fast path alone.
+    A job carrying a payload additionally *trains*: once the simulation
+    has decided its allocation history, that history replays through the
+    real :class:`~repro.elastic.ElasticTrainer` (the same machinery
+    :meth:`JobRecord.to_trace_schedule` feeds), and the resulting final
+    loss lands on the job's outcome.  Payloads never perturb scheduling
+    decisions, so stripping them leaves every other outcome field
+    bit-identical — the fast-path/trainer-path parity the test suite
+    pins.
+
+    Parameters
+    ----------
+    model:
+        Registered model workload name (``python -m repro list models``).
+    num_samples:
+        Synthetic dataset size for the workload builder.
+    local_batch:
+        Per-worker batch for the replay run.
+    lr / momentum:
+        SGD hyperparameters.
+    seed:
+        Fixes data synthesis, init and the replay's event stream.
+    """
+
+    model: str = "mlp-tiny"
+    num_samples: int = 96
+    local_batch: int = 8
+    lr: float = 0.05
+    momentum: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.api.registry import MODELS
+
+        if self.model not in MODELS:
+            raise ValueError(
+                f"unknown payload model {self.model!r}; "
+                f"registered: {', '.join(MODELS.available())}"
+            )
+        if self.num_samples < 1 or self.local_batch < 1:
+            raise ValueError("payload num_samples and local_batch must be >= 1")
+        if not 0 <= self.momentum < 1:
+            raise ValueError(f"payload momentum must be in [0, 1), got {self.momentum}")
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """One schedulable training job.
 
@@ -104,6 +155,12 @@ class JobSpec:
         node.  Smaller slices let jobs co-locate (and contend).
     arrival_seconds:
         Submission time on the virtual clock.
+    payload:
+        Optional :class:`TrainPayload`.  ``None`` (the default, and what
+        every trace-scale job uses) keeps the job entirely on the
+        closed-form fast path; a payload makes the job *train* its
+        scheduler-decided allocation history through the real
+        :class:`~repro.elastic.ElasticTrainer` after the simulation.
     """
 
     name: str
@@ -120,6 +177,7 @@ class JobSpec:
     max_nodes: int = 2
     gpus_per_node: int | None = None
     arrival_seconds: float = 0.0
+    payload: TrainPayload | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -171,6 +229,23 @@ class JobSpec:
             return self.local_batch
         return profile.default_local_batch
 
+    def workload_key(self, gpus_per_node: int) -> tuple:
+        """Everything the iteration-time model depends on.
+
+        Two jobs with equal keys are timing-identical at any allocation,
+        so the scheduler memoizes per *key*, not per job name — a
+        10k-job trace typically collapses to a few dozen keys.
+        """
+        profile = self.model_profile()
+        return (
+            profile.name,
+            self.scheme_kind(),
+            self.density,
+            self.resolved_resolution(profile),
+            self.resolved_local_batch(profile),
+            gpus_per_node,
+        )
+
 
 #: JobRecord lifecycle states.
 QUEUED = "queued"
@@ -196,6 +271,10 @@ class JobRecord:
     #: (iteration, node_count) allocation history; seeded at placement.
     waypoints: list[tuple[int, int]] = field(default_factory=list)
     membership: MembershipView | None = None
+    #: Post-simulation :class:`~repro.elastic.ElasticTrainer` replay
+    #: result for payload jobs (final loss, revocations, ...); ``None``
+    #: for payload-free jobs and jobs that were never placed.
+    train_summary: dict | None = None
 
     @property
     def remaining(self) -> float:
@@ -249,6 +328,7 @@ __all__ = [
     "PREFERENCES",
     "SCHEME_KINDS",
     "scheme_kind_of",
+    "TrainPayload",
     "JobSpec",
     "JobRecord",
     "QUEUED",

@@ -34,6 +34,8 @@ bit-identical report.
 
 from __future__ import annotations
 
+import bisect
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -64,7 +66,47 @@ PAYLOAD_COLUMNS = [
     "membership_epochs",
     "cost_usd",
     "deadline_met",
+    "final_loss",
 ]
+
+
+def _admit_key(record: JobRecord) -> tuple:
+    """Admission order: highest priority, then earliest arrival, then name."""
+    return (-record.spec.priority, record.spec.arrival_seconds, record.spec.name)
+
+
+class _AdmitQueue:
+    """The admission backlog, grouped by placement signature.
+
+    Whether a job fits depends only on its *signature* — (GPUs per node,
+    ``min_nodes``) — never on which job carries it.  Keeping one
+    admit-ordered list per signature lets the admit scan visit at most
+    one head job per signature (plus one pop per placement) instead of
+    walking every queued job at every event; on a trace-scale backlog of
+    thousands of queued jobs with a handful of distinct shapes, that is
+    the difference between an O(queue) and an O(shapes) scan.
+    """
+
+    def __init__(self) -> None:
+        #: signature -> records, each list sorted by :func:`_admit_key`.
+        self.by_sig: dict[tuple[int, int], list[JobRecord]] = {}
+        self._count = 0
+
+    def add(self, record: JobRecord, gpus: int) -> None:
+        sig = (gpus, record.spec.min_nodes)
+        bisect.insort(self.by_sig.setdefault(sig, []), record, key=_admit_key)
+        self._count += 1
+
+    def pop_head(self, sig: tuple[int, int]) -> JobRecord:
+        records = self.by_sig[sig]
+        record = records.pop(0)
+        if not records:
+            del self.by_sig[sig]
+        self._count -= 1
+        return record
+
+    def __len__(self) -> int:
+        return self._count
 
 
 @dataclass(frozen=True)
@@ -87,6 +129,8 @@ class JobOutcome:
     cost_usd: float
     deadline_met: bool | None
     waypoints: tuple[tuple[int, int], ...]
+    #: Replayed-training final loss; ``None`` for payload-free jobs.
+    final_loss: float | None = None
 
     def row(self) -> list:
         return [
@@ -105,6 +149,7 @@ class JobOutcome:
             self.membership_epochs,
             round(self.cost_usd, 4),
             self.deadline_met,
+            round(self.final_loss, 6) if self.final_loss is not None else None,
         ]
 
 
@@ -199,7 +244,10 @@ class MultiTenantScheduler:
         Recorded for provenance; the simulation itself is closed-form
         deterministic (no random draws).
     max_events:
-        Safety cap on scheduler decision points.
+        Safety cap on scheduler decision points.  ``None`` (the
+        default) scales the cap with the queue — ``max(10_000, 16 *
+        len(jobs))`` — so trace-scale replays never hit it while
+        pathological hand-written scenarios still terminate.
     """
 
     def __init__(
@@ -210,7 +258,7 @@ class MultiTenantScheduler:
         gpus_per_node: int | None = None,
         policy: str = "bin-pack",
         seed: int = 0,
-        max_events: int = 10_000,
+        max_events: int | None = None,
         name: str = "sched",
     ) -> None:
         from repro.api.registry import CLUSTERS, get_cluster
@@ -229,8 +277,18 @@ class MultiTenantScheduler:
         self.seed = seed
         self.max_events = max_events
         self.name = name
-        #: (spec name, nodes, contention) -> iteration seconds; reset per run.
-        self._time_cache: dict[tuple[str, int, float], float] = {}
+        # The fast-path memoization layer.  Jobs sharing a workload key
+        # (profile/scheme-kind/density/resolution/batch/GPU slice) are
+        # timing-identical, so the caches are keyed per *key* — a
+        # 10k-job trace with a few dozen distinct workload shapes pays
+        # for a few dozen IterationModel builds, not hundreds of
+        # thousands.  All reset per run (job names may be reused).
+        #: job name -> workload key.
+        self._key_cache: dict[str, tuple] = {}
+        #: (workload key, nodes, contention) -> iteration seconds.
+        self._time_cache: dict[tuple, float] = {}
+        #: (workload key, nodes) -> solo communication share.
+        self._intensity_cache: dict[tuple, float] = {}
         # Unknown (custom-registered) clouds bill at the tencent profile.
         self.spot_profile: SpotProfile = SPOT_PROFILES.get(
             self.instance, SPOT_PROFILES["tencent"]
@@ -260,17 +318,23 @@ class MultiTenantScheduler:
             contention=contention,
         )
 
+    def _workload_key(self, spec: JobSpec) -> tuple:
+        key = self._key_cache.get(spec.name)
+        if key is None:
+            key = self._key_cache[spec.name] = spec.workload_key(self._job_gpus(spec))
+        return key
+
     def iteration_seconds(
         self, spec: JobSpec, *, nodes: int, contention: float = 1.0
     ) -> float:
         """Per-iteration virtual seconds at an allocation + tenant count.
 
-        Pure in ``(spec, nodes, contention)``, so results are memoized
-        per :meth:`run` — the event loop re-prices every running job at
-        every event and would otherwise rebuild identical models
-        thousands of times.
+        Pure in ``(workload key, nodes, contention)``, so results are
+        memoized per :meth:`run` — the event loop re-prices every
+        running job at every event and would otherwise rebuild identical
+        models millions of times on a trace-scale queue.
         """
-        key = (spec.name, nodes, contention)
+        key = (self._workload_key(spec), nodes, contention)
         cached = self._time_cache.get(key)
         if cached is None:
             cached = self._iteration_model(spec, nodes, contention).iteration_time()
@@ -279,11 +343,18 @@ class MultiTenantScheduler:
 
     def comm_intensity(self, spec: JobSpec, *, nodes: int) -> float:
         """Solo communication share of the iteration (network-aware input)."""
-        breakdown = self._iteration_model(spec, nodes, 1.0).breakdown()
-        total = breakdown.total
-        if total <= 0:
-            return 0.0
-        return (breakdown.get("communication") + breakdown.get("compression")) / total
+        key = (self._workload_key(spec), nodes)
+        cached = self._intensity_cache.get(key)
+        if cached is None:
+            breakdown = self._iteration_model(spec, nodes, 1.0).breakdown()
+            total = breakdown.total
+            cached = 0.0
+            if total > 0:
+                cached = (
+                    breakdown.get("communication") + breakdown.get("compression")
+                ) / total
+            self._intensity_cache[key] = cached
+        return cached
 
     def _hourly_rate(self, spec: JobSpec, nodes: int) -> float:
         """USD/hour for the job's current slice (GPU-share of node price)."""
@@ -313,7 +384,7 @@ class MultiTenantScheduler:
 
     def _try_preempt(
         self, job: JobSpec, running: list[JobRecord], state: ClusterState
-    ) -> None:
+    ) -> bool:
         """Shrink strictly-lower-priority jobs until ``job`` fits.
 
         Preemption is *targeted and all-or-nothing*: per candidate node
@@ -330,13 +401,15 @@ class MultiTenantScheduler:
         gpus = self._job_gpus(job)
         needed = job.min_nodes - len(state.feasible_nodes(gpus))
         if needed <= 0:
-            return
-        by_name = {r.spec.name: r for r in running}
+            return False
         budget = {
             r.spec.name: len(r.nodes) - r.spec.min_nodes
             for r in running
             if r.spec.priority < job.priority
         }
+        if not any(budget.values()):
+            return False  # nobody eligible can give up a node
+        by_name = {r.spec.name: r for r in running}
         # Cheapest nodes first: fewest tenants to displace, most free.
         order = sorted(
             (n for n in range(state.num_nodes) if state.free_gpus(n) < gpus),
@@ -365,7 +438,7 @@ class MultiTenantScheduler:
             if len(plans) >= needed:
                 break
         if len(plans) < needed:
-            return  # the job cannot be admitted; shrink nobody
+            return False  # the job cannot be admitted; shrink nobody
         for node, plan in plans:
             for name in plan:
                 victim = by_name[name]
@@ -378,6 +451,7 @@ class MultiTenantScheduler:
                 state.set_comm_intensity(
                     name, self.comm_intensity(victim.spec, nodes=len(victim.nodes))
                 )
+        return True
 
     def _place(self, record: JobRecord, state: ClusterState, now: float) -> bool:
         spec = record.spec
@@ -426,24 +500,57 @@ class MultiTenantScheduler:
 
     def _schedule(
         self,
-        queued: list[JobRecord],
+        queued: _AdmitQueue,
         running: list[JobRecord],
         state: ClusterState,
         now: float,
     ) -> None:
-        # 1. Admit queued jobs, highest priority first; preempt if needed.
-        for record in sorted(
-            list(queued),
-            key=lambda r: (-r.spec.priority, r.spec.arrival_seconds, r.spec.name),
-        ):
-            gpus = self._job_gpus(record.spec)
-            if len(state.feasible_nodes(gpus)) < record.spec.min_nodes:
-                self._try_preempt(record.spec, running, state)
+        # 1. Admit queued jobs in admission order (highest priority,
+        # then earliest arrival); preempt if needed.  The scan walks the
+        # signature heads in global admission order via a heap, with a
+        # *dominance prune*: once a signature fails to place, any
+        # not-earlier job needing at least as many GPUs per node and at
+        # least as many nodes must fail too — placement success depends
+        # only on (gpus, min_nodes), preemption victim budgets only
+        # shrink as priority drops, and capacity never grows mid-scan
+        # except when a preemption commits, which resets the prune and
+        # revives the parked signatures.  Smaller jobs still get their
+        # backfill attempt, so admissions match a full scan of the
+        # backlog while touching only one head per distinct shape.
+        failed: list[tuple[int, int]] = []  # signatures that failed to place
+        parked: list[tuple[int, int]] = []  # pruned signatures (revivable)
+        heads = [
+            (_admit_key(records[0]), sig) for sig, records in queued.by_sig.items()
+        ]
+        heapq.heapify(heads)
+        while heads:
+            _, sig = heapq.heappop(heads)
+            record = queued.by_sig[sig][0]
+            spec = record.spec
+            gpus, min_nodes = sig
+            if any(g <= gpus and m <= min_nodes for g, m in failed):
+                parked.append(sig)
+                continue
+            if len(state.feasible_nodes(gpus)) < min_nodes:
+                if self._try_preempt(spec, running, state):
+                    # Committed shrinks freed capacity: previously failed
+                    # or pruned shapes may fit now, so reset the prune.
+                    failed.clear()
+                    for revived in parked:
+                        head = queued.by_sig[revived][0]
+                        heapq.heappush(heads, (_admit_key(head), revived))
+                    parked.clear()
             if self._place(record, state, now):
-                queued.remove(record)
+                queued.pop_head(sig)
                 running.append(record)
+                if sig in queued.by_sig:
+                    head = queued.by_sig[sig][0]
+                    heapq.heappush(heads, (_admit_key(head), sig))
+            else:
+                failed.append(sig)
+                parked.append(sig)
         # 2. Autoscale: grow running jobs onto capacity nothing is queued for.
-        if not queued:
+        if not len(queued):
             changed = True
             while changed:
                 changed = False
@@ -460,29 +567,45 @@ class MultiTenantScheduler:
         if not jobs:
             raise ValueError("need at least one JobSpec")
         self._validate(jobs)
-        self._time_cache.clear()  # job names may be reused across runs
+        # Job names may be reused across runs (with different shapes).
+        self._key_cache.clear()
+        self._time_cache.clear()
+        self._intensity_cache.clear()
+        max_events = (
+            self.max_events
+            if self.max_events is not None
+            else max(10_000, 16 * len(jobs))
+        )
         state = ClusterState(self.num_nodes, self.gpus_per_node)
         records = {job.name: JobRecord(spec=job) for job in jobs}
         pending = sorted(
             records.values(),
             key=lambda r: (r.spec.arrival_seconds, -r.spec.priority, r.spec.name),
         )
-        queued: list[JobRecord] = []
+        arrived = 0  # index into pending; everything before it has arrived
+        queued = _AdmitQueue()
         running: list[JobRecord] = []
         done: list[JobRecord] = []
 
         now = 0.0
         occupied_node_seconds = 0.0
         events = 0
-        while (pending or queued or running) and events < self.max_events:
+        while (
+            arrived < len(pending) or len(queued) or running
+        ) and events < max_events:
             events += 1
-            while pending and pending[0].spec.arrival_seconds <= now + 1e-12:
-                queued.append(pending.pop(0))
+            while (
+                arrived < len(pending)
+                and pending[arrived].spec.arrival_seconds <= now + 1e-12
+            ):
+                record = pending[arrived]
+                queued.add(record, self._job_gpus(record.spec))
+                arrived += 1
             self._schedule(queued, running, state, now)
             if not running:
-                if not pending:
+                if arrived >= len(pending):
                     break  # nothing placeable remains (validated away, but safe)
-                now = pending[0].spec.arrival_seconds
+                now = pending[arrived].spec.arrival_seconds
                 continue
 
             # Piecewise-constant rates until the next event.
@@ -505,7 +628,11 @@ class MultiTenantScheduler:
                 now + record.remaining / rates[record.spec.name][0]
                 for record in running
             )
-            next_arrival = pending[0].spec.arrival_seconds if pending else None
+            next_arrival = (
+                pending[arrived].spec.arrival_seconds
+                if arrived < len(pending)
+                else None
+            )
             horizon = next_completion
             if next_arrival is not None and next_arrival < horizon:
                 horizon = next_arrival
@@ -532,7 +659,57 @@ class MultiTenantScheduler:
                     running.remove(record)
                     done.append(record)
 
+        # Payload jobs now *train*: replay the decided allocation history
+        # through the real ElasticTrainer.  This runs after — and never
+        # feeds back into — the closed-form simulation, so scheduling
+        # outcomes are bit-identical with payloads stripped.
+        for record in records.values():
+            if record.spec.payload is not None and record.waypoints:
+                record.train_summary = self._replay_payload(record)
         return self._report(records, now, occupied_node_seconds, events)
+
+    def _replay_payload(self, record: JobRecord) -> dict:
+        """Train a payload job's allocation history with ElasticTrainer."""
+        from repro.api.registry import build_workload
+        from repro.elastic.elastic_trainer import ElasticTrainer
+        from repro.optim.sgd import SGD
+        from repro.utils.seeding import new_rng
+
+        payload = record.spec.payload
+        assert payload is not None  # caller-checked
+        workload = build_workload(
+            payload.model, num_samples=payload.num_samples, rng=new_rng(payload.seed)
+        )
+        schedule = record.to_trace_schedule()
+        start_nodes = record.waypoints[0][1]
+        trainer = ElasticTrainer(
+            workload.model,
+            scheme=record.spec.scheme,
+            density=record.spec.density,
+            instance=self.instance,
+            num_nodes=start_nodes,
+            gpus_per_node=self._job_gpus(record.spec),
+            min_nodes=record.spec.min_nodes,
+            optimizer=SGD(lr=payload.lr, momentum=payload.momentum),
+            seed=payload.seed,
+        )
+        try:
+            report = trainer.run(
+                workload.x,
+                workload.y,
+                iterations=record.spec.iterations,
+                local_batch=payload.local_batch,
+                schedule=schedule,
+            )
+        finally:
+            trainer.close()
+        return {
+            "model": payload.model,
+            "final_loss": report.final_loss,
+            "useful_iterations": report.useful_iterations,
+            "revocations": report.revocations,
+            "joins": report.joins,
+        }
 
     def _report(
         self,
@@ -567,6 +744,11 @@ class MultiTenantScheduler:
                     cost_usd=record.cost_usd,
                     deadline_met=record.deadline_met(),
                     waypoints=tuple(record.waypoints),
+                    final_loss=(
+                        record.train_summary["final_loss"]
+                        if record.train_summary is not None
+                        else None
+                    ),
                 )
             )
         outcomes.sort(key=lambda o: o.job)

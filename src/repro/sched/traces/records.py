@@ -1,0 +1,123 @@
+"""Record types of the cluster-trace format.
+
+The format follows the Alibaba PAI 2020 GPU-cluster trace layout — the
+de-facto exchange shape for production DL scheduling studies — with
+three record kinds:
+
+* **job** — one submission: who submitted it, when, at what priority,
+  and what workload shape it trains (profile / comm scheme / density).
+* **task** — the job's worker group: how many instances (nodes) it
+  wants (``inst_num``), its elastic floor (``min_inst_num``), and the
+  GPU share per instance (``plan_gpu``, in percent of one GPU — 100
+  means one full GPU, 800 a whole 8-GPU node, matching the PAI
+  convention of percentage GPU requests).
+* **instance** — optional per-worker placement observations
+  (start/end/machine).  Instances are carried through parsing and
+  re-serialization untouched but are *informational*: replay derives
+  placements from the scheduler, not from the recorded ones.
+
+The exact field-by-field schema is documented in ``docs/traces.md``
+(the external trace reference is not vendored here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TraceError(ValueError):
+    """A malformed trace file (bad field, unknown reference, bad JSON).
+
+    Subclasses :class:`ValueError` so the CLI's one-line ``error: ...``
+    exit-2 handling applies without special cases.
+    """
+
+
+#: Job statuses carried through from PAI-style traces (informational).
+JOB_STATUSES = ("Terminated", "Running", "Waiting", "Failed")
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job submission row."""
+
+    job_name: str
+    #: Hashed submitter id (PAI traces anonymize users the same way).
+    user: str = "u0000"
+    #: Submission time on the trace clock, seconds >= 0.
+    submit_time: float = 0.0
+    #: Placement priority; higher may shrink strictly-lower ones.
+    priority: int = 0
+    #: Billing: ``spot`` or ``on-demand``.
+    preference: str = "spot"
+    #: Completion deadline, seconds after submit (None = none).
+    deadline: float | None = None
+    #: Workload profile name (``resnet50`` / ``vgg19`` / ``transformer``).
+    workload: str = "resnet50"
+    #: Registered comm-scheme name or alias.
+    scheme: str = "mstopk"
+    #: Top-k sparsity rho in (0, 1].
+    density: float = 0.01
+    #: Final status in the source cluster (informational).
+    status: str = "Terminated"
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """The worker-group row of one job."""
+
+    job_name: str
+    task_name: str = "worker"
+    #: Requested instance (node) count — the job's elastic ceiling.
+    inst_num: int = 1
+    #: Minimum instances the job can make progress with (elastic floor).
+    min_inst_num: int = 1
+    #: GPU request per instance in percent of one GPU (100 = 1 GPU);
+    #: must be a positive multiple of 100 here since the scheduler
+    #: places whole GPUs.  None = every GPU on the node.
+    plan_gpu: int | None = None
+    #: Input resolution in pixels (None = the profile default).
+    resolution: int | None = None
+    #: Per-GPU batch (None = the profile default).
+    local_batch: int | None = None
+    #: Iterations of work the job needs, >= 1.
+    iterations: int = 200
+    #: Optional training payload (:class:`~repro.sched.job.TrainPayload`
+    #: fields as a mapping); None keeps the job on the closed-form path.
+    payload: dict | None = None
+
+
+@dataclass(frozen=True)
+class TraceInstance:
+    """One worker-instance observation (informational only)."""
+
+    job_name: str
+    task_name: str = "worker"
+    inst_name: str = "instance_0"
+    #: Machine the instance landed on in the source cluster.
+    worker_name: str = ""
+    start_time: float | None = None
+    end_time: float | None = None
+    status: str = "Terminated"
+
+
+@dataclass
+class Trace:
+    """A parsed trace: job + task rows (and optional instance rows)."""
+
+    jobs: list[TraceJob] = field(default_factory=list)
+    tasks: list[TraceTask] = field(default_factory=list)
+    instances: list[TraceInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+__all__ = [
+    "TraceError",
+    "JOB_STATUSES",
+    "TraceJob",
+    "TraceTask",
+    "TraceInstance",
+    "Trace",
+]

@@ -15,7 +15,7 @@ import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 DOCS = REPO / "docs"
-PAGES = ("architecture.md", "quickstart.md", "scenarios.md")
+PAGES = ("architecture.md", "quickstart.md", "scenarios.md", "traces.md")
 
 #: Documented commands this test does NOT execute, mapped to where they
 #: are exercised instead.  Keep the rationale honest: if a command stops
@@ -30,6 +30,16 @@ KNOWN_EXERCISED = {
     # Editable install; CI uses PYTHONPATH=src instead (this repo has no
     # third-party build deps, so the install path is trivial).
     "python setup.py develop": "install step (CI uses PYTHONPATH=src)",
+    # The 10k-job day replay (~15 s each) — CI trace-smoke runs the same
+    # path at the same scale through bench_trace_replay.py and gates it.
+    "python -m repro sched --trace /tmp/big_day.jsonl": (
+        "CI trace-smoke job (bench_trace_replay, 10k scale)"
+    ),
+    "python -m repro sched --trace /tmp/big_day.jsonl --set "
+    "'policies=[\"bin-pack\", \"spread\", \"network-aware\"]' --jobs 0": (
+        "CI trace-smoke job (bench_trace_replay) + exec pool parity in "
+        "tests/sched/test_traces.py"
+    ),
 }
 
 #: Non-python shell lines that may appear in fences (ignored).
@@ -67,6 +77,8 @@ class TestDocsExist:
     def test_pages_cross_link(self):
         assert "architecture.md" in (DOCS / "quickstart.md").read_text()
         assert "quickstart.md" in (DOCS / "scenarios.md").read_text()
+        assert "traces.md" in (DOCS / "scenarios.md").read_text()
+        assert "scenarios.md" in (DOCS / "traces.md").read_text()
 
     def test_architecture_has_mermaid_subsystem_map(self):
         text = (DOCS / "architecture.md").read_text()
