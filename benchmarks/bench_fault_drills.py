@@ -1,0 +1,131 @@
+"""Fault drills: recovery scorecard + replay determinism gates.
+
+Runs the seeded five-fault storm (:data:`repro.faults.drill.STORM_EVENTS`
+— NIC flap, persistent straggler, unwarned node crash, checkpoint
+corruption, AZ-wide spot reclaim) against **every registered aggregation
+scheme**, paired with a fault-free baseline per scheme, and scores
+detection-to-recovery latency, goodput under the storm vs baseline,
+lost work, and $/kilo-iteration.
+
+Determinism is the headline gate: the whole drill matrix is produced
+twice — serially and through a 2-worker process pool — and the two
+BENCH payloads (rows, digests, full fault logs) must match bit for bit.
+Every timestamp in the fault log is *virtual* seconds, so this holds on
+any host at any ``--jobs`` width.
+
+Emits ``results/BENCH_fault_drills_run.json``; the *committed* baseline
+lives at ``results/BENCH_fault_drills.json`` and is never written by a
+bench run (updating it is a deliberate ``cp`` after a representative
+run).  The CI ``faults-smoke`` job gates fresh runs against it via
+``check_faults_regression.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.api.registry import SCHEMES
+from repro.exec.sweeper import ParallelSweeper
+from repro.faults.drill import STORM_EVENTS, drills_payload
+
+SEED = 7
+POOL_JOBS = 2
+
+#: Goodput-under-storm floor: the storm costs rollback-replay work and
+#: degraded-NIC iterations, but a scheme that keeps less than this
+#: fraction of its fault-free goodput has broken recovery, not slow
+#: recovery (the whole matrix sits near 0.19 today).
+MIN_GOODPUT_RATIO = 0.15
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def drills(save_result):
+    serial = drills_payload(seed=SEED)
+    pooled = drills_payload(
+        seed=SEED, sweeper=ParallelSweeper("process", jobs=POOL_JOBS)
+    )
+    deterministic = _canonical(serial) == _canonical(pooled)
+
+    rows = serial["rows"]
+    columns = serial["columns"]
+    save_result(
+        "fault_drills_run",
+        serial["text"],
+        columns=columns,
+        rows=rows,
+        meta={
+            **serial["meta"],
+            "deterministic": deterministic,
+            "pool_jobs": POOL_JOBS,
+            "min_goodput_ratio": MIN_GOODPUT_RATIO,
+        },
+    )
+    index = {column: i for i, column in enumerate(columns)}
+    return {
+        "rows": rows,
+        "index": index,
+        "deterministic": deterministic,
+        "schemes": serial["meta"]["schemes"],
+    }
+
+
+def test_bench_drills_determinism(benchmark, drills):
+    """Serial and process-pool drill matrices match bit for bit."""
+
+    def check():
+        assert drills["deterministic"], (
+            "fault-drill payload diverged between the serial loop and a "
+            f"{POOL_JOBS}-worker process pool"
+        )
+        return True
+
+    assert benchmark(check)
+
+
+def test_bench_drills_cover_every_scheme(benchmark, drills):
+    """One storm + baseline pair per registered scheme, none skipped."""
+
+    def check():
+        assert drills["schemes"] == SCHEMES.available()
+        assert len(drills["rows"]) == len(SCHEMES.available())
+        return True
+
+    assert benchmark(check)
+
+
+def test_bench_drills_recover(benchmark, drills):
+    """Every scheme detects and recovers from the full composed storm."""
+
+    def check():
+        idx = drills["index"]
+        for row in drills["rows"]:
+            scheme = row[idx["scheme"]]
+            assert row[idx["injected"]] == len(STORM_EVENTS), (scheme, row)
+            assert row[idx["recovered"]] == row[idx["injected"]], (scheme, row)
+            assert row[idx["absorbed"]] == 0, (scheme, row)
+            assert row[idx["corrupt_checkpoints"]] >= 1, (
+                f"{scheme}: the corrupted checkpoint was never detected"
+            )
+        return True
+
+    assert benchmark(check)
+
+
+def test_bench_drills_goodput_floor(benchmark, drills):
+    """Goodput under the storm clears the recovery-is-working floor."""
+
+    def check():
+        idx = drills["index"]
+        for row in drills["rows"]:
+            ratio = row[idx["goodput_ratio"]]
+            assert ratio is not None and ratio >= MIN_GOODPUT_RATIO, (
+                f"{row[idx['scheme']]}: goodput ratio {ratio} under the "
+                f"storm fell below the {MIN_GOODPUT_RATIO} floor"
+            )
+        return True
+
+    assert benchmark(check)

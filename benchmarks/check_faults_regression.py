@@ -1,0 +1,154 @@
+"""CI gate on fault-drill determinism and recovery quality.
+
+Compares a freshly produced ``BENCH_fault_drills_run.json`` against the
+committed ``results/BENCH_fault_drills.json`` baseline and enforces the
+fault-subsystem acceptance bar:
+
+* **determinism** (hard, every host) — ``meta.deterministic`` must be
+  true: the serial loop and a process pool produced bit-identical drill
+  payloads.  Fault-log timestamps are virtual seconds, so this never
+  depends on the machine;
+* **digest pin** (hard, every host) — the per-scheme fault-log digests
+  must equal the committed baseline's.  A digest drift means the replay
+  changed semantically (injection order, recovery path, or accounting),
+  which must be a deliberate baseline update, never an accident;
+* **recovery** (hard, every host) — every scheme in the matrix must
+  detect and recover from every injected fault (``recovered ==
+  injected``, nothing absorbed, the corrupted checkpoint caught);
+* **goodput floor** (hard, every host) — goodput under the storm must
+  keep at least ``--min-goodput-ratio`` (default 0.15) of the no-fault
+  baseline.  Pure simulation, so the ratio is host-independent;
+* **goodput drift** (advisory) — a per-scheme ratio drop against the
+  committed baseline beyond ``--threshold`` only prints a note.
+
+Usage (as the CI ``faults-smoke`` job does)::
+
+    python -m pytest benchmarks/bench_fault_drills.py -q --benchmark-disable
+    python benchmarks/check_faults_regression.py \
+        --baseline results/BENCH_fault_drills.json \
+        --current results/BENCH_fault_drills_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text())
+    meta = payload.get("meta", {})
+    for key in ("deterministic", "schemes", "digests"):
+        if key not in meta:
+            raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
+    for key in ("columns", "rows"):
+        if key not in payload:
+            raise SystemExit(f"{path}: bench payload lacks {key!r}")
+    return payload
+
+
+def _cell(payload: dict, row: list, column: str):
+    return row[payload["columns"].index(column)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_fault_drills.json")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_fault_drills_run.json")
+    parser.add_argument("--min-goodput-ratio", type=float, default=0.15,
+                        help="storm/baseline goodput floor per scheme")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional goodput-ratio drop vs the committed "
+                             "baseline that triggers the advisory note")
+    args = parser.parse_args(argv)
+
+    base = load_payload(args.baseline)
+    cur = load_payload(args.current)
+    failures = []
+
+    if not cur["meta"]["deterministic"]:
+        failures.append("deterministic is false: serial vs pool diverged")
+        print("FAIL: serial and process-pool drill payloads diverged")
+    else:
+        print("ok: serial and process-pool drill payloads bit-identical")
+
+    base_digests = base["meta"]["digests"]
+    cur_digests = cur["meta"]["digests"]
+    drifted = sorted(
+        scheme
+        for scheme in base_digests
+        if cur_digests.get(scheme) != base_digests[scheme]
+    )
+    missing = sorted(set(base_digests) - set(cur_digests))
+    if missing:
+        failures.append(f"schemes missing from the drill matrix: {missing}")
+        print(f"FAIL: schemes missing from the drill matrix: {missing}")
+    if drifted:
+        failures.append(f"fault-log digests drifted: {drifted}")
+        print(
+            f"FAIL: fault-log digests drifted for {drifted} — replay "
+            "semantics changed; update the committed baseline deliberately "
+            "if intended"
+        )
+    if not missing and not drifted:
+        print(f"ok: {len(base_digests)} per-scheme log digests match baseline")
+
+    bad_recovery = []
+    bad_goodput = []
+    for row in cur["rows"]:
+        scheme = _cell(cur, row, "scheme")
+        injected = _cell(cur, row, "injected")
+        recovered = _cell(cur, row, "recovered")
+        absorbed = _cell(cur, row, "absorbed")
+        corrupt = _cell(cur, row, "corrupt_checkpoints")
+        if injected < 1 or recovered != injected or absorbed or corrupt < 1:
+            bad_recovery.append(scheme)
+        ratio = _cell(cur, row, "goodput_ratio")
+        if ratio is None or ratio < args.min_goodput_ratio:
+            bad_goodput.append((scheme, ratio))
+    if bad_recovery:
+        failures.append(f"incomplete recovery: {bad_recovery}")
+        print(f"FAIL: incomplete recovery for {bad_recovery}")
+    else:
+        print(
+            f"ok: all {len(cur['rows'])} schemes recovered from every "
+            "injected fault (corrupted checkpoint included)"
+        )
+    if bad_goodput:
+        failures.append(f"goodput under storm below floor: {bad_goodput}")
+        print(
+            f"FAIL: goodput ratio below the {args.min_goodput_ratio} "
+            f"floor: {bad_goodput}"
+        )
+    else:
+        print(f"ok: every scheme kept >= {args.min_goodput_ratio} goodput under the storm")
+
+    base_ratio = {
+        _cell(base, row, "scheme"): _cell(base, row, "goodput_ratio")
+        for row in base["rows"]
+    }
+    for row in cur["rows"]:
+        scheme = _cell(cur, row, "scheme")
+        ratio = _cell(cur, row, "goodput_ratio")
+        baseline_ratio = base_ratio.get(scheme)
+        if baseline_ratio and ratio is not None:
+            floor = baseline_ratio * (1.0 - args.threshold)
+            if ratio < floor:
+                print(
+                    f"note: {scheme} goodput ratio fell to {ratio:.3f} from "
+                    f"baseline {baseline_ratio:.3f} — advisory only"
+                )
+
+    if failures:
+        print(f"FAIL: fault drill gate: {failures}")
+        return 1
+    print("ok: fault drills within the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

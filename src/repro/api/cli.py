@@ -51,6 +51,7 @@ LIST_GROUPS = (
     "clusters",
     "policies",
     "backends",
+    "faults",
     "experiments",
 )
 
@@ -220,6 +221,7 @@ def _registry_lines(reg: registry.Registry) -> list[str]:
 
 def _cmd_list(group: str | None) -> int:
     from repro.exec.backend import BACKENDS
+    from repro.faults.registry import FAULTS
     from repro.sched.policies import POLICIES
 
     registries = {
@@ -229,6 +231,7 @@ def _cmd_list(group: str | None) -> int:
         "clusters": registry.CLUSTERS,
         "policies": POLICIES,
         "backends": BACKENDS,
+        "faults": FAULTS,
     }
     groups = (group,) if group else LIST_GROUPS
     for i, name in enumerate(groups):

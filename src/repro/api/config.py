@@ -174,6 +174,93 @@ class ExecConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """One planned fault event (see ``python -m repro list faults``).
+
+    Only the parameters a kind reads matter; the rest keep their
+    defaults.  ``at`` is in *wall iterations* for elastic runs and in
+    *virtual seconds* for scheduler runs — the natural clock of each
+    simulation.
+    """
+
+    #: Registered fault kind or alias (``python -m repro list faults``).
+    kind: str = "node-crash"
+    #: Injection time (wall iterations for runs, seconds for sched).
+    at: float = 0.0
+    #: Window length for windowed kinds; 0 = permanent.  For sched
+    #: crashes, a nonzero duration schedules the node's repair.
+    duration: float = 0.0
+    #: nic-degrade: remaining fraction of inter-node bandwidth, (0, 1).
+    scale: float = 0.5
+    #: straggler: compute slow-down factor, > 1.
+    stretch: float = 2.0
+    #: az-reclaim: fraction of live nodes reclaimed, (0, 1].
+    fraction: float = 0.5
+    #: Explicit victim node id (None = seeded pick among live nodes).
+    node: int | None = None
+    #: Flap support: total occurrences (>= 1) spaced ``period`` apart.
+    repeat: int = 1
+    #: Spacing between repeats (same unit as ``at``); required > 0 when
+    #: ``repeat`` > 1.
+    period: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """The fault plan of a run: seeded, deterministic, replayable.
+
+    Present ⇒ the run (elastic) or scenario (sched) is perturbed by the
+    listed events through :mod:`repro.faults`; absent ⇒ every code path
+    is bit-identical to a build without the subsystem.
+    """
+
+    #: Seed for the plan's victim picks (None = derived from the run
+    #: seed, so one master seed still fixes everything).
+    seed: int | None = None
+    #: Planned fault events (each a :class:`FaultConfig`).
+    events: tuple = ()
+    #: Path to a JSON plan file (``{"events": [...]}`` or a bare list);
+    #: mutually exclusive with inline ``events``.
+    plan: str | None = None
+    #: Iterations between the *implied* checkpoints the scheduler's
+    #: closed form rolls surprise-hit jobs back to (elastic runs use
+    #: their real ``elastic.checkpoint_every`` instead).
+    checkpoint_iterations: int = 25
+
+
+def _faults_from_dict(data: Any) -> FaultsConfig:
+    if not isinstance(data, dict):
+        raise ConfigError(f"'faults' must be a mapping, got {type(data).__name__}")
+    _check_keys("faults", data, FaultsConfig)
+    kwargs: dict[str, Any] = {k: v for k, v in data.items() if k != "events"}
+    events = data.get("events", ())
+    if not isinstance(events, (list, tuple)):
+        raise ConfigError("'faults.events' must be a list of fault mappings")
+    parsed = []
+    for i, event in enumerate(events):
+        if isinstance(event, FaultConfig):
+            parsed.append(event)
+        else:
+            parsed.append(_from_dict(f"faults.events[{i}]", event, FaultConfig))
+    kwargs["events"] = tuple(parsed)
+    return FaultsConfig(**kwargs)
+
+
+def _faults_to_dict(faults: FaultsConfig) -> dict:
+    data = dataclasses.asdict(faults)
+    # Lists, not tuples, so JSON round-trips and --set can index them.
+    data["events"] = [dict(event) for event in data["events"]]
+    return data
+
+
+def _validate_faults(faults: FaultsConfig, *, seed: int, target: str) -> None:
+    """Resolve the plan (kinds, params, plan file) so typos fail at load."""
+    from repro.faults.plan import FaultPlan
+
+    FaultPlan.from_config(faults, seed=seed, target=target)
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything one run needs, serializable and seed-complete."""
 
@@ -185,6 +272,8 @@ class RunConfig:
     comm: CommConfig = field(default_factory=CommConfig)
     train: TrainConfig = field(default_factory=TrainConfig)
     elastic: ElasticConfig | None = None
+    #: Optional fault plan (requires ``elastic``); see ``docs/faults.md``.
+    faults: FaultsConfig | None = None
     exec: ExecConfig = field(default_factory=ExecConfig)
 
     # -- construction ------------------------------------------------------
@@ -204,6 +293,8 @@ class RunConfig:
             kwargs["train"] = _from_dict("train", data["train"], TrainConfig)
         if data.get("elastic") is not None:
             kwargs["elastic"] = _from_dict("elastic", data["elastic"], ElasticConfig)
+        if data.get("faults") is not None:
+            kwargs["faults"] = _faults_from_dict(data["faults"])
         if "exec" in data:
             kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
@@ -238,6 +329,8 @@ class RunConfig:
         }
         if self.elastic is not None:
             data["elastic"] = dataclasses.asdict(self.elastic)
+        if self.faults is not None:
+            data["faults"] = _faults_to_dict(self.faults)
         return data
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -291,6 +384,14 @@ class RunConfig:
                 raise ConfigError(
                     "elastic min_nodes must be in [1, cluster.num_nodes]"
                 )
+        if self.faults is not None:
+            if self.elastic is None:
+                raise ConfigError(
+                    "faults require an 'elastic' section: fault drills perturb "
+                    "the elastic trainer (add \"elastic\": {} or "
+                    "--set elastic.schedule=none)"
+                )
+            _validate_faults(self.faults, seed=self.seed, target="run")
         return self
 
 
@@ -389,6 +490,9 @@ class SchedConfig:
     #: loaded from the trace instead of ``jobs`` and the CLI reports
     #: JCT/queue-wait distributions instead of per-job rows.
     trace: str | None = None
+    #: Optional fault plan perturbing the shared cluster (node crashes,
+    #: AZ reclaims, NIC degradation, stragglers); see ``docs/faults.md``.
+    faults: FaultsConfig | None = None
     #: Where the per-policy simulations run: the ``process`` backend
     #: fans the policy grid across cores (results identical to serial).
     exec: ExecConfig = field(default_factory=ExecConfig)
@@ -426,6 +530,8 @@ class SchedConfig:
             if not isinstance(data["trace"], str) or not data["trace"]:
                 raise ConfigError("'trace' must be a non-empty path string")
             kwargs["trace"] = data["trace"]
+        if data.get("faults") is not None:
+            kwargs["faults"] = _faults_from_dict(data["faults"])
         if "exec" in data:
             kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
@@ -463,6 +569,11 @@ class SchedConfig:
                 if self.trace is not None
                 else {"jobs": [dataclasses.asdict(job) for job in self.jobs]}
             ),
+            **(
+                {"faults": _faults_to_dict(self.faults)}
+                if self.faults is not None
+                else {}
+            ),
             "exec": dataclasses.asdict(self.exec),
         }
 
@@ -497,6 +608,8 @@ class SchedConfig:
             raise ConfigError(
                 f"policies resolve to duplicate entries: {', '.join(duplicates)}"
             )
+        if self.faults is not None:
+            _validate_faults(self.faults, seed=self.seed, target="sched")
         if self.trace is not None:
             if not isinstance(self.trace, str) or not self.trace:
                 raise ConfigError("'trace' must be a non-empty path string")
@@ -556,8 +669,9 @@ def _apply_overrides_data(data: dict, overrides: Sequence[str]) -> dict:
     """Apply dotted-path overrides to a config dict (shared helper).
 
     Numeric path segments index into lists (``--set jobs.0.priority=5``);
-    ``elastic`` materialises as an empty section on first touch so any
-    run config can be made elastic from the command line.
+    ``elastic`` and ``faults`` materialise as empty sections on first
+    touch so any config can opt into churn or fault drills from the
+    command line.
     """
     for item in overrides:
         if "=" not in item:
@@ -568,8 +682,8 @@ def _apply_overrides_data(data: dict, overrides: Sequence[str]) -> dict:
             raise ConfigError(f"override {item!r} has an empty key path")
         node: Any = data
         for i, key in enumerate(keys[:-1]):
-            if key == "elastic" and node is data and data.get("elastic") is None:
-                data["elastic"] = {}
+            if key in ("elastic", "faults") and node is data and data.get(key) is None:
+                data[key] = {}
             if isinstance(node, list):
                 if not key.isdigit() or int(key) >= len(node):
                     raise ConfigError(
@@ -626,6 +740,8 @@ __all__ = [
     "ElasticConfig",
     "ELASTIC_SCHEDULES",
     "ExecConfig",
+    "FaultConfig",
+    "FaultsConfig",
     "RunConfig",
     "JobConfig",
     "SchedConfig",

@@ -50,6 +50,9 @@ class RunReport:
     training: Any = None  # TrainingReport | None
     elastic_run: Any = None  # ElasticRunReport | None
     cost: Any = None  # ElasticCostReport | None
+    #: Fault-drill record: ``{"entries": [...], "summary": {...}}`` from
+    #: the injector's structured log; ``None`` when no faults ran.
+    faults: Any = None
 
     @property
     def final_loss(self) -> float:
@@ -77,6 +80,7 @@ class RunReport:
                 "model": self.model,
                 "world_size": self.world_size,
                 "seed": self.seed,
+                **({"faults": self.faults} if self.faults is not None else {}),
             },
         }
 
@@ -171,6 +175,13 @@ def _run_elastic(config: RunConfig, workload, exec_backend=None) -> RunReport:
         else None
     )
     variability = VariabilityModel(sigma=elastic.sigma) if elastic.sigma > 0 else None
+    injector = None
+    if config.faults is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.from_config(config.faults, seed=config.seed, target="run")
+        injector = FaultInjector(plan)
     scheme_name = SCHEMES.canonical(config.comm.scheme) or config.comm.scheme
     # Canonicalize so aliases ("p3.16xlarge" -> "aws") hit the right
     # spot-price profile in the cost layer.
@@ -196,6 +207,7 @@ def _run_elastic(config: RunConfig, workload, exec_backend=None) -> RunReport:
         timing_d=elastic.timing_d,
         variability=variability,
         exec_backend=exec_backend,
+        faults=injector,
     )
     try:
         report = trainer.run(
@@ -219,6 +231,16 @@ def _run_elastic(config: RunConfig, workload, exec_backend=None) -> RunReport:
         "savings_vs_on_demand": cost.savings_fraction,
         "useful_iterations": report.useful_iterations,
     }
+    faults_record = None
+    if injector is not None:
+        metrics = injector.metrics()
+        faults_record = {
+            "entries": injector.log.to_dicts(),
+            "summary": metrics,
+        }
+        summary["fault_injections"] = metrics["injected"]
+        summary["fault_recoveries"] = metrics["recovered"]
+        summary["fault_detect_recover_s"] = metrics["mean_detect_recover_s"]
     return RunReport(
         name=config.name,
         mode="elastic",
@@ -230,6 +252,7 @@ def _run_elastic(config: RunConfig, workload, exec_backend=None) -> RunReport:
         summary=summary,
         elastic_run=report,
         cost=cost,
+        faults=faults_record,
     )
 
 
@@ -331,7 +354,17 @@ def run_sched(config) -> dict:
         gpus_per_node=config.cluster.gpus_per_node,
         seed=config.seed,
         name=config.name,
+        faults=_sched_fault_plan(config),
     )
+
+
+def _sched_fault_plan(config):
+    """Resolve a SchedConfig's faults section (or ``None``)."""
+    if config.faults is None:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan.from_config(config.faults, seed=config.seed, target="sched")
 
 
 __all__ = ["run", "run_sched", "preflight", "RunReport", "BENCH_SCHEMA_VERSION"]

@@ -49,7 +49,11 @@ from repro.comm.hitopkcomm import STEP_INTER_ALLGATHER, HiTopKComm
 from repro.elastic.events import JOIN, ChurnEvent
 from repro.elastic.membership import MembershipView, fold_residuals
 from repro.optim.sgd import SGD
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.train.trainer import DistributedTrainer, TrainableModel
 from repro.utils.seeding import derive_seed, new_rng
 
@@ -68,6 +72,8 @@ class ElasticRunReport:
     joins: int = 0
     rollbacks: int = 0
     checkpoints: int = 0
+    #: Checkpoint files found damaged during a rollback (fault drills).
+    corrupt_checkpoints: int = 0
     compute_seconds: float = 0.0
     comm_seconds: float = 0.0
     overhead_seconds: float = 0.0
@@ -136,6 +142,12 @@ class ElasticTrainer:
     variability:
         Optional :class:`~repro.cluster.variability.VariabilityModel`;
         per-iteration straggler factors stretch the virtual step time.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector` carrying
+        a seeded fault plan; its hooks fire at the top of every wall
+        iteration and during checkpoint save/restore.  ``None`` (the
+        default) leaves every code path bit-identical to a build without
+        the fault subsystem.
     """
 
     def __init__(
@@ -163,6 +175,7 @@ class ElasticTrainer:
         variability: VariabilityModel | None = None,
         legacy_hotpath: bool = False,
         exec_backend=None,
+        faults=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
@@ -198,7 +211,16 @@ class ElasticTrainer:
             checkpoint_dir = self._tmpdir.name
         checkpoint_dir = pathlib.Path(checkpoint_dir)
         checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        self._ckpt_path = checkpoint_dir / "rollback.npz"
+        # Double-buffered rollback slots: the previous checkpoint stays
+        # on disk until a newer one lands, so a corrupted newest file
+        # (CheckpointCorruptError on load) still leaves a recovery
+        # point.  The stack is newest-last (path, useful_iterations).
+        self._ckpt_slots = (
+            checkpoint_dir / "rollback-a.npz",
+            checkpoint_dir / "rollback-b.npz",
+        )
+        self._ckpt_stack: list[tuple[pathlib.Path, int]] = []
+        self.faults = faults
         self._event_rng = new_rng(derive_seed(seed, "elastic", "events"))
         self._sim_rng = new_rng(derive_seed(seed, "elastic", "stragglers"))
         self.trainer = self._fresh_trainer()
@@ -232,31 +254,72 @@ class ElasticTrainer:
         )
 
     # -- checkpoint / restore --------------------------------------------------
+    def checkpoint_stack(self) -> tuple[tuple[pathlib.Path, int], ...]:
+        """On-disk ``(path, useful_iterations)`` entries, newest last."""
+        return tuple(self._ckpt_stack)
+
     def _save_checkpoint(self, report: ElasticRunReport, useful: int) -> None:
-        save_checkpoint(self.trainer, self._ckpt_path)
+        if len(self._ckpt_stack) >= len(self._ckpt_slots):
+            path, _ = self._ckpt_stack.pop(0)  # recycle the oldest slot
+        else:
+            used = {slot for slot, _ in self._ckpt_stack}
+            path = next(slot for slot in self._ckpt_slots if slot not in used)
+        save_checkpoint(self.trainer, path)
+        self._ckpt_stack.append((path, useful))
         self._last_ckpt_useful = useful
         report.checkpoints += 1
         self._charge(report, self.checkpoint_seconds)
+        if self.faults is not None:
+            self.faults.on_checkpoint_saved(path)
 
     def _rebuild_from_checkpoint(
         self, report: ElasticRunReport, x: np.ndarray, y: np.ndarray
-    ) -> None:
-        """Rescale to the current membership and restore the checkpoint."""
+    ) -> int:
+        """Rescale to the current membership and restore a checkpoint.
+
+        Walks the checkpoint stack newest-first; an entry whose file
+        fails checksum verification (:class:`CheckpointCorruptError`) is
+        dropped and the previous one restores instead.  Returns the
+        useful-iteration count of the state actually restored — ``0``
+        when every checkpoint was lost and training restarts from the
+        initial parameters.
+        """
         self.trainer.close()  # free the outgoing world size's step engine
-        new_trainer = self._fresh_trainer()
-        meta = load_checkpoint(new_trainer, self._ckpt_path, strict_world=False)
-        orphans = meta.get("residuals")
-        ef = getattr(new_trainer.scheme, "ef", None)
-        if orphans and ef is not None:
-            n = self.membership.gpus_per_node
-            old_topo = ClusterTopology(meta["world_size"] // n, n)
-            ef._residuals = fold_residuals(
-                orphans, old_topo, new_trainer.scheme.topology
-            )
-        self.trainer = new_trainer
+        restored: int | None = None
+        while self._ckpt_stack:
+            path, ckpt_useful = self._ckpt_stack[-1]
+            new_trainer = self._fresh_trainer()
+            try:
+                meta = load_checkpoint(new_trainer, path, strict_world=False)
+            except CheckpointCorruptError:
+                new_trainer.close()
+                self._ckpt_stack.pop()
+                report.corrupt_checkpoints += 1
+                if self.faults is not None:
+                    self.faults.on_corrupt_detected(path, report)
+                continue
+            orphans = meta.get("residuals")
+            ef = getattr(new_trainer.scheme, "ef", None)
+            if orphans and ef is not None:
+                n = self.membership.gpus_per_node
+                old_topo = ClusterTopology(meta["world_size"] // n, n)
+                ef._residuals = fold_residuals(
+                    orphans, old_topo, new_trainer.scheme.topology
+                )
+            self.trainer = new_trainer
+            restored = ckpt_useful
+            break
+        if restored is None:
+            # Every checkpoint on disk was damaged: restart from the
+            # initial parameters (the model rebuilds deterministically
+            # from the run seed) with all progress lost.
+            self.trainer = self._fresh_trainer()
+            restored = 0
+        self._last_ckpt_useful = restored
         self._shards = self.membership.reshard(x, y)
         report.world_sizes.append(self.membership.world_size)
         self._charge(report, self.restart_seconds)
+        return restored
 
     # -- accounting ------------------------------------------------------------
     def _charge(self, report: ElasticRunReport, seconds: float) -> None:
@@ -265,13 +328,20 @@ class ElasticTrainer:
 
     def _step_times(self) -> tuple[float, float]:
         """(compute, comm) virtual seconds for one step, straggler-stretched."""
-        breakdown = self.trainer.scheme.time_model(self.timing_d)
+        if self.faults is not None:
+            # Active NIC degradation swaps in a time model built on the
+            # degraded network; healthy windows hit the plain path.
+            breakdown = self.faults.comm_breakdown(self)
+        else:
+            breakdown = self.trainer.scheme.time_model(self.timing_d)
         if self.variability is not None:
             factors = self.variability.sample_node_factors(
                 self.membership.num_nodes, self._sim_rng
             )
         else:
             factors = np.ones(self.membership.num_nodes)
+        if self.faults is not None:
+            factors = self.faults.straggled_factors(factors, self.membership)
         if isinstance(self.trainer.scheme, HiTopKComm):
             inter = breakdown.get(STEP_INTER_ALLGATHER)
             comm = straggled_hierarchical_time(
@@ -328,16 +398,57 @@ class ElasticTrainer:
         report.revocations += 1
         if warned:
             report.warned_revocations += 1
+            restored = self._rebuild_from_checkpoint(report, x, y)
+            if restored < useful:
+                # Only reachable when the just-saved checkpoint AND its
+                # predecessor were both corrupted by a fault.
+                report.lost_iterations += useful - restored
+                report.rollbacks += 1
+                del report.losses[restored:]
         else:
             # Surprise revocation: the synchronous step can no longer
-            # complete — roll back to the last periodic checkpoint.
-            lost = useful - self._last_ckpt_useful
-            report.lost_iterations += lost
+            # complete — roll back to the newest intact checkpoint.
+            restored = self._rebuild_from_checkpoint(report, x, y)
+            report.lost_iterations += useful - restored
             report.rollbacks += 1
-            useful = self._last_ckpt_useful
-            del report.losses[useful:]
-        self._rebuild_from_checkpoint(report, x, y)
-        return useful
+            del report.losses[restored:]
+        return restored
+
+    def apply_fault_revocation(
+        self,
+        nodes,
+        report: ElasticRunReport,
+        x: np.ndarray,
+        y: np.ndarray,
+        useful: int,
+    ) -> tuple[int, int, list[int]]:
+        """Simultaneous *unwarned* loss of ``nodes`` (fault injection).
+
+        Revokes every named node that is still live — stopping at the
+        ``min_nodes`` floor, where the provider keeps capacity — then
+        performs ONE rollback + rebuild: a correlated failure (AZ-wide
+        spot reclaim) costs a single recovery, unlike the sequential
+        churn events of :meth:`_apply_event`.  Returns
+        ``(restored_useful, lost_iterations, victims)``; no live victim
+        means the fault was absorbed and nothing changes.
+        """
+        victims: list[int] = []
+        for node in nodes:
+            if self.membership.num_nodes <= self.membership.min_nodes:
+                break
+            if node not in self.membership.live_nodes:
+                continue
+            self.membership.revoke(node, rng=self._event_rng)
+            report.revocations += 1
+            victims.append(int(node))
+        if not victims:
+            return useful, 0, []
+        restored = self._rebuild_from_checkpoint(report, x, y)
+        lost = useful - restored
+        report.lost_iterations += lost
+        report.rollbacks += 1
+        del report.losses[restored:]
+        return restored, lost, victims
 
     # -- main loop -------------------------------------------------------------
     def run(
@@ -383,6 +494,8 @@ class ElasticTrainer:
         useful = 0
         wall = 0
         while useful < iterations and wall < horizon:
+            if self.faults is not None:
+                useful = self.faults.on_iteration(self, wall, useful, report, x, y)
             for event in by_iteration.get(wall, ()):
                 useful = self._apply_event(event, report, x, y, useful)
             loss, _ = self.trainer.train_step(self._batches(local_batch, useful))

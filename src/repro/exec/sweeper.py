@@ -127,7 +127,10 @@ def _task_sched_policy(task: tuple[dict, str]) -> Any:
     data["exec"] = {"backend": "serial", "jobs": 1}
     config = SchedConfig.from_dict(data)
     # Trace configs resolve here, in the worker: only the path crosses
-    # the process boundary, and each worker parses the trace itself.
+    # the process boundary, and each worker parses the trace itself —
+    # likewise the fault plan, so every policy replays the same storm.
+    from repro.api.facade import _sched_fault_plan
+
     jobs = job_specs_for(config)
     reports = compare_policies(
         jobs,
@@ -137,6 +140,7 @@ def _task_sched_policy(task: tuple[dict, str]) -> Any:
         gpus_per_node=config.cluster.gpus_per_node,
         seed=config.seed,
         name=config.name,
+        faults=_sched_fault_plan(config),
     )
     return next(iter(reports.values()))
 

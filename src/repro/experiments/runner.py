@@ -20,6 +20,7 @@ import time
 
 from repro.experiments import (
     elastic_churn,
+    fault_drills,
     fig1_breakdown,
     fig6_topk_ops,
     fig7_aggregation,
@@ -50,11 +51,18 @@ EXPERIMENTS = (
     ("Table 5", table5_dawnbench.main),
     ("Elastic churn", elastic_churn.main),
     ("Multi-tenant sched", multi_tenant.main),
+    ("Fault drills", fault_drills.main),
 )
 
 #: Harnesses whose ``main`` accepts ``fast=True`` to trim expensive
 #: sweeps; the rest already run in seconds.
-FAST_AWARE = ("Fig. 6", "Fig. 10", "Elastic churn", "Multi-tenant sched")
+FAST_AWARE = (
+    "Fig. 6",
+    "Fig. 10",
+    "Elastic churn",
+    "Multi-tenant sched",
+    "Fault drills",
+)
 
 
 def _selected(only: str | None) -> list[tuple[str, object]]:

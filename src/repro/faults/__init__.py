@@ -1,0 +1,43 @@
+"""Registry-pluggable fault injection and recovery drills (``repro.faults``).
+
+The subsystem perturbs *live* simulation state mid-run — node crashes
+without the two-minute warning, NIC degradation, persistent stragglers,
+checkpoint corruption, AZ-wide spot reclaims — through the existing
+elastic-membership and multi-tenant-scheduler machinery, never around
+it.  Plans are seeded and deterministic; every injection/detection/
+recovery step lands in a wall-clock-free :class:`~repro.faults.log.FaultLog`
+so replay is bit-identical at any ``--jobs`` width.  See
+``docs/faults.md``.
+"""
+
+from repro.faults.drill import drill_config, drills_payload, run_drills
+from repro.faults.injector import FaultInjector, RunContext
+from repro.faults.log import PHASES, FaultLog
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.registry import (
+    FAULT_TARGETS,
+    FAULTS,
+    Fault,
+    FaultError,
+    register_fault,
+)
+from repro.faults.sched_driver import SchedContext, SchedFaultDriver
+
+__all__ = [
+    "FAULTS",
+    "FAULT_TARGETS",
+    "Fault",
+    "FaultError",
+    "register_fault",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultLog",
+    "PHASES",
+    "FaultInjector",
+    "RunContext",
+    "SchedFaultDriver",
+    "SchedContext",
+    "drill_config",
+    "run_drills",
+    "drills_payload",
+]

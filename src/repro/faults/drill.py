@@ -1,0 +1,178 @@
+"""Recovery drills: a seeded fault storm against every aggregation scheme.
+
+A *drill* runs the same elastic workload twice per scheme — once
+fault-free (the baseline) and once under :data:`STORM_EVENTS`, a
+composed storm of five fault kinds (NIC flap, persistent straggler,
+unwarned node crash, checkpoint corruption, AZ-wide spot reclaim) — and
+scores detection-to-recovery latency, goodput under the storm vs the
+no-fault baseline, lost work, and $ cost.  Results emit as one
+BENCH-schema payload (``BENCH_fault_drills.json``); the per-scheme fault
+log digests pin bit-identical replay across hosts and ``--jobs`` widths.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import RunConfig
+from repro.api.registry import SCHEMES
+from repro.utils.tables import format_table
+
+#: Keep in sync with ``benchmarks/conftest.py::BENCH_SCHEMA_VERSION``.
+BENCH_SCHEMA_VERSION = 1
+
+#: The composed storm (``at`` in wall iterations of an 80-iteration run):
+#: a NIC flap and a straggler window overlap the early run, an unwarned
+#: crash forces a rollback, the newest checkpoint is then corrupted so
+#: the AZ-wide reclaim that follows must fall back through the CRC
+#: detection path to the older slot.
+STORM_EVENTS = (
+    {"kind": "nic-degrade", "at": 14, "duration": 12, "scale": 0.35},
+    {"kind": "straggler", "at": 24, "duration": 18, "stretch": 2.5},
+    {"kind": "node-crash", "at": 44},
+    {"kind": "checkpoint-corrupt", "at": 52},
+    {"kind": "az-reclaim", "at": 60, "fraction": 0.5},
+)
+
+#: Columns of the ``BENCH_fault_drills.json`` rows.
+DRILL_COLUMNS = [
+    "scheme",
+    "injected",
+    "recovered",
+    "absorbed",
+    "detect_recover_s",
+    "baseline_goodput",
+    "storm_goodput",
+    "goodput_ratio",
+    "lost_iterations",
+    "corrupt_checkpoints",
+    "baseline_usd_per_kiter",
+    "storm_usd_per_kiter",
+    "log_digest",
+]
+
+
+def drill_config(
+    scheme: str,
+    *,
+    storm: bool,
+    seed: int = 7,
+    iterations: int = 80,
+    num_nodes: int = 4,
+) -> RunConfig:
+    """The drill workload for one scheme: small, fast, fault-heavy.
+
+    ``schedule: none`` keeps churn out of the picture — every membership
+    change in a storm run is fault-injected, so the baseline/storm delta
+    is attributable entirely to the plan.
+    """
+    data = {
+        "name": f"fault-drill-{scheme}" + ("" if storm else "-baseline"),
+        "seed": seed,
+        "cluster": {"instance": "tencent", "num_nodes": num_nodes, "gpus_per_node": 2},
+        "comm": {"scheme": scheme, "density": 0.05},
+        "train": {"model": "mlp-tiny", "num_samples": 256, "local_batch": 8},
+        "elastic": {
+            "iterations": iterations,
+            "schedule": "none",
+            "checkpoint_every": 20,
+            "min_nodes": 1,
+        },
+    }
+    if storm:
+        data["faults"] = {"events": [dict(event) for event in STORM_EVENTS]}
+    return RunConfig.from_dict(data)
+
+
+def run_drills(schemes=None, *, seed: int = 7, sweeper=None) -> list[dict]:
+    """Baseline + storm per scheme; returns one scored dict per scheme.
+
+    ``sweeper`` is an optional
+    :class:`~repro.exec.sweeper.ParallelSweeper`; results are
+    bit-identical to the serial loop at any pool width (pinned by
+    ``benchmarks/bench_fault_drills.py``).
+    """
+    names = (
+        [SCHEMES.canonical(s) or s for s in schemes]
+        if schemes
+        else SCHEMES.available()
+    )
+    configs = []
+    for scheme in names:
+        configs.append(drill_config(scheme, storm=False, seed=seed))
+        configs.append(drill_config(scheme, storm=True, seed=seed))
+    if sweeper is not None:
+        reports = sweeper.run_configs(configs)
+    else:
+        from repro.api.facade import run
+
+        reports = [run(config) for config in configs]
+    results = []
+    for i, scheme in enumerate(names):
+        baseline, storm = reports[2 * i], reports[2 * i + 1]
+        fault_summary = storm.faults["summary"]
+        baseline_goodput = baseline.summary["goodput_it_per_s"]
+        storm_goodput = storm.summary["goodput_it_per_s"]
+        results.append(
+            {
+                "scheme": scheme,
+                "injected": fault_summary["injected"],
+                "recovered": fault_summary["recovered"],
+                "absorbed": fault_summary["absorbed"],
+                "detect_recover_s": fault_summary["mean_detect_recover_s"],
+                "baseline_goodput": round(baseline_goodput, 6),
+                "storm_goodput": round(storm_goodput, 6),
+                "goodput_ratio": (
+                    round(storm_goodput / baseline_goodput, 6)
+                    if baseline_goodput
+                    else None
+                ),
+                "lost_iterations": storm.elastic_run.lost_iterations,
+                "corrupt_checkpoints": storm.elastic_run.corrupt_checkpoints,
+                "baseline_usd_per_kiter": round(
+                    baseline.summary["usd_per_kilo_iter"], 6
+                ),
+                "storm_usd_per_kiter": round(storm.summary["usd_per_kilo_iter"], 6),
+                "log_digest": fault_summary["digest"],
+                # Full structured log, for callers that audit the replay
+                # (stripped from the BENCH rows; digest pins it there).
+                "entries": storm.faults["entries"],
+            }
+        )
+    return results
+
+
+def drills_payload(
+    schemes=None, *, seed: int = 7, sweeper=None, bench: str = "fault_drills"
+) -> dict:
+    """One BENCH-schema payload covering a full drill matrix."""
+    results = run_drills(schemes, seed=seed, sweeper=sweeper)
+    rows = [[result[column] for column in DRILL_COLUMNS] for result in results]
+    title = (
+        f"{bench}: {len(results)} schemes x {len(STORM_EVENTS)}-fault storm "
+        f"(seed {seed})"
+    )
+    text = format_table(DRILL_COLUMNS, rows, title=title)
+    return {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "structured": True,
+        "columns": list(DRILL_COLUMNS),
+        "rows": rows,
+        "text": text if text.endswith("\n") else text + "\n",
+        "meta": {
+            "seed": seed,
+            "schemes": [result["scheme"] for result in results],
+            "storm": [dict(event) for event in STORM_EVENTS],
+            "digests": {
+                result["scheme"]: result["log_digest"] for result in results
+            },
+        },
+    }
+
+
+__all__ = [
+    "STORM_EVENTS",
+    "DRILL_COLUMNS",
+    "drill_config",
+    "run_drills",
+    "drills_payload",
+]

@@ -1,0 +1,114 @@
+"""Structured, wall-clock-free fault event log.
+
+Every injection, detection, and recovery step appends one entry:
+
+``{"seq", "t", "phase", "kind", "fault_id", "target", "detail"?}``
+
+``t`` is *virtual* simulation seconds (never host wall clock), ``seq``
+is the append index, and ``detail`` holds JSON scalars only — so the
+serialised log is byte-identical across hosts, repeat runs, and any
+``--jobs`` width, and :meth:`FaultLog.digest` pins that in benchmark
+payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: The lifecycle phases an entry can record.
+PHASES = ("inject", "detect", "recover", "repair", "absorb")
+
+
+class FaultLog:
+    """Append-only event log with deterministic serialisation."""
+
+    def __init__(self) -> None:
+        self._entries: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(
+        self,
+        phase: str,
+        *,
+        t: float,
+        kind: str,
+        fault_id: int,
+        target: str,
+        **detail,
+    ) -> dict:
+        """Record one lifecycle step; returns the entry."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown log phase {phase!r}; expected one of {PHASES}")
+        entry = {
+            "seq": len(self._entries),
+            "t": round(float(t), 9),
+            "phase": phase,
+            "kind": str(kind),
+            "fault_id": int(fault_id),
+            "target": str(target),
+        }
+        if detail:
+            entry["detail"] = {
+                key: _jsonable(value) for key, value in sorted(detail.items())
+            }
+        self._entries.append(entry)
+        return entry
+
+    def to_dicts(self) -> list[dict]:
+        """A deep-enough copy safe to embed in payloads."""
+        return [
+            {**entry, **({"detail": dict(entry["detail"])} if "detail" in entry else {})}
+            for entry in self._entries
+        ]
+
+    def to_json(self) -> str:
+        """Canonical serialisation (sorted keys, no whitespace)."""
+        return json.dumps(self._entries, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Short stable hash of the canonical serialisation."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def phase_counts(self) -> dict[str, int]:
+        counts = {phase: 0 for phase in PHASES}
+        for entry in self._entries:
+            counts[entry["phase"]] += 1
+        return {phase: n for phase, n in counts.items() if n}
+
+    def latencies(self, start: str = "inject", end: str = "recover") -> dict[int, float]:
+        """Per-fault virtual latency from first ``start`` to last ``end``."""
+        started: dict[int, float] = {}
+        finished: dict[int, float] = {}
+        for entry in self._entries:
+            fid = entry["fault_id"]
+            if entry["phase"] == start and fid not in started:
+                started[fid] = entry["t"]
+            elif entry["phase"] == end and fid in started:
+                finished[fid] = entry["t"]
+        return {
+            fid: round(finished[fid] - started[fid], 9) for fid in sorted(finished)
+        }
+
+    def mean_latency(self, start: str = "inject", end: str = "recover") -> float | None:
+        values = list(self.latencies(start, end).values())
+        if not values:
+            return None
+        return round(sum(values) / len(values), 9)
+
+
+def _jsonable(value):
+    """Coerce a detail value to JSON scalars/lists (fail loudly otherwise)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    # numpy scalars and the like
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"fault log detail values must be JSON scalars, got {value!r}")
+
+
+__all__ = ["PHASES", "FaultLog"]

@@ -1,0 +1,216 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is the fully-resolved form of a
+:class:`repro.api.config.FaultsConfig`: plan files loaded, flap trains
+(``repeat``/``period``) expanded into concrete events, every kind
+checked against the :data:`~repro.faults.registry.FAULTS` registry and
+the target surface, and every parameter validated — so a typo fails at
+config-load time with one clear :class:`~repro.faults.registry.FaultError`
+instead of mid-simulation.
+
+The same plan drives an :class:`~repro.faults.injector.FaultInjector`
+(elastic runs, ``at`` in wall iterations) or a
+:class:`~repro.faults.sched_driver.SchedFaultDriver` (scheduler runs,
+``at`` in virtual seconds); both derive all randomness from
+``plan.seed``, so replay is bit-identical at any ``--jobs`` width.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+
+from repro.faults.registry import FAULT_TARGETS, FAULTS, FaultError
+from repro.utils.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete, validated fault occurrence."""
+
+    fault_id: int
+    kind: str  # canonical registry name
+    at: float
+    duration: float = 0.0
+    scale: float = 0.5
+    stretch: float = 2.0
+    fraction: float = 0.5
+    node: int | None = None
+
+    @property
+    def until(self) -> float:
+        """End of the effect window (``inf`` for permanent effects)."""
+        return self.at + self.duration if self.duration > 0 else math.inf
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A resolved, sorted, seeded sequence of :class:`FaultEvent`."""
+
+    seed: int
+    target: str
+    events: tuple[FaultEvent, ...] = ()
+    checkpoint_iterations: int = 25
+
+    @classmethod
+    def from_config(cls, faults, *, seed: int, target: str) -> "FaultPlan":
+        """Resolve a ``FaultsConfig`` (or equivalent dict) into a plan.
+
+        ``seed`` is the *run* seed; the plan seed derives from it unless
+        the config pins its own.  Raises :class:`FaultError` on any
+        invalid kind, parameter, or plan file.
+        """
+        if target not in FAULT_TARGETS:
+            raise FaultError(
+                f"unknown fault target {target!r}; expected one of {FAULT_TARGETS}"
+            )
+        from repro.api.config import FaultConfig, FaultsConfig
+
+        if isinstance(faults, dict):
+            from repro.api.config import _faults_from_dict
+
+            faults = _faults_from_dict(faults)
+        if not isinstance(faults, FaultsConfig):
+            raise FaultError(
+                f"'faults' must be a FaultsConfig or mapping, "
+                f"got {type(faults).__name__}"
+            )
+        entries = list(faults.events)
+        if faults.plan is not None:
+            if entries:
+                raise FaultError(
+                    "faults 'events' and 'plan' are mutually exclusive: a plan "
+                    "file IS the event list"
+                )
+            entries = _load_plan_file(faults.plan, FaultConfig)
+        if faults.checkpoint_iterations < 1:
+            raise FaultError(
+                "faults checkpoint_iterations must be >= 1, "
+                f"got {faults.checkpoint_iterations}"
+            )
+        plan_seed = (
+            int(faults.seed)
+            if faults.seed is not None
+            else derive_seed(seed, "faults")
+        )
+        events: list[FaultEvent] = []
+        for index, entry in enumerate(entries):
+            events.extend(_expand(index, entry, target))
+        events.sort(key=lambda e: (e.at, e.fault_id))
+        return cls(
+            seed=plan_seed,
+            target=target,
+            events=tuple(events),
+            checkpoint_iterations=int(faults.checkpoint_iterations),
+        )
+
+    def to_dicts(self) -> list[dict]:
+        return [dataclasses.asdict(event) for event in self.events]
+
+    @property
+    def kinds(self) -> list[str]:
+        """Sorted distinct canonical kinds in this plan."""
+        return sorted({event.kind for event in self.events})
+
+
+def _expand(index: int, entry, target: str) -> list[FaultEvent]:
+    """Validate one config entry and expand its repeat train."""
+    label = f"faults.events[{index}]"
+    kind = FAULTS.canonical(str(entry.kind))
+    if kind is None:
+        raise FaultError(
+            f"{label}: unknown fault {entry.kind!r}; "
+            f"registered: {', '.join(FAULTS.available())}"
+        )
+    fault = FAULTS.get(kind)()
+    if target not in fault.targets:
+        raise FaultError(
+            f"{label}: fault {kind!r} cannot target {target!r} "
+            f"(targets: {', '.join(sorted(fault.targets))})"
+        )
+    try:
+        at = float(entry.at)
+        duration = float(entry.duration)
+        scale = float(entry.scale)
+        stretch = float(entry.stretch)
+        fraction = float(entry.fraction)
+        repeat = int(entry.repeat)
+        period = float(entry.period)
+        node = None if entry.node is None else int(entry.node)
+    except (TypeError, ValueError) as exc:
+        raise FaultError(f"{label}: non-numeric parameter: {exc}") from exc
+    if at < 0:
+        raise FaultError(f"{label}: at must be >= 0, got {at}")
+    if duration < 0:
+        raise FaultError(f"{label}: duration must be >= 0, got {duration}")
+    if repeat < 1:
+        raise FaultError(f"{label}: repeat must be >= 1, got {repeat}")
+    if repeat > 1 and period <= 0:
+        raise FaultError(
+            f"{label}: repeat > 1 needs a positive period, got {period}"
+        )
+    if period < 0:
+        raise FaultError(f"{label}: period must be >= 0, got {period}")
+    events = []
+    for occurrence in range(repeat):
+        event = FaultEvent(
+            fault_id=index * 1000 + occurrence,
+            kind=kind,
+            at=at + occurrence * period,
+            duration=duration,
+            scale=scale,
+            stretch=stretch,
+            fraction=fraction,
+            node=node,
+        )
+        try:
+            fault.check(event)
+        except FaultError as exc:
+            raise FaultError(f"{label}: {exc}") from exc
+        events.append(event)
+    return events
+
+
+def _load_plan_file(path_str: str, fault_config_cls) -> list:
+    """Load ``{"events": [...]}`` (or a bare list) from a JSON plan file."""
+    path = pathlib.Path(path_str)
+    if not path.exists():
+        raise FaultError(f"fault plan file not found: {path}")
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FaultError(f"fault plan file {path} is not valid JSON: {exc}") from exc
+    if isinstance(data, dict):
+        if set(data) - {"events"}:
+            raise FaultError(
+                f"fault plan file {path} has unknown top-level key(s) "
+                f"{sorted(set(data) - {'events'})}; expected 'events'"
+            )
+        data = data.get("events", [])
+    if not isinstance(data, list):
+        raise FaultError(
+            f"fault plan file {path} must hold a list of fault mappings"
+        )
+    allowed = {f.name for f in dataclasses.fields(fault_config_cls)}
+    entries = []
+    for i, item in enumerate(data):
+        if not isinstance(item, dict):
+            raise FaultError(
+                f"fault plan file {path} entry {i} must be a mapping, "
+                f"got {type(item).__name__}"
+            )
+        unknown = sorted(set(item) - allowed)
+        if unknown:
+            raise FaultError(
+                f"fault plan file {path} entry {i} has unknown key(s) "
+                f"{', '.join(map(repr, unknown))}; accepted: "
+                f"{', '.join(sorted(allowed))}"
+            )
+        entries.append(fault_config_cls(**item))
+    return entries
+
+
+__all__ = ["FaultEvent", "FaultPlan"]

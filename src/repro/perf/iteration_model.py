@@ -102,6 +102,12 @@ class IterationModel:
         communication (and PTO) terms stretch while compute, I/O and
         compression stay solo — the multi-tenant degradation model used
         by :mod:`repro.sched`.
+    compute_stretch:
+        Straggler factor (>= 1) multiplying the FF&BP term: synchronous
+        training runs at the pace of its slowest worker, so a persistent
+        straggler on any node stretches every iteration.  Used by the
+        fault subsystem (:mod:`repro.faults`); ``1.0`` is a healthy
+        cluster.
     """
 
     network: NetworkModel
@@ -116,12 +122,17 @@ class IterationModel:
     pipeline_workers: int = CALIBRATION.pipeline_workers_system
     cal: Calibration = CALIBRATION
     contention: float = 1.0
+    compute_stretch: float = 1.0
 
     def __post_init__(self) -> None:
         if self.local_batch < 1:
             raise ValueError(f"local_batch must be >= 1, got {self.local_batch}")
         if self.contention < 1:
             raise ValueError(f"contention must be >= 1, got {self.contention}")
+        if self.compute_stretch < 1:
+            raise ValueError(
+                f"compute_stretch must be >= 1, got {self.compute_stretch}"
+            )
         if isinstance(self.scheme, str):
             self.scheme = SchemeKind(self.scheme)
 
@@ -138,8 +149,12 @@ class IterationModel:
         return self.profile.single_gpu_throughput(self.resolution or None)
 
     def t_ffbp(self) -> float:
-        """Feed-forward + backprop time for one local batch."""
-        return self.local_batch / self.gpu_rate
+        """Feed-forward + backprop time for one local batch.
+
+        ``compute_stretch`` models a persistent straggler: the
+        synchronous barrier stretches everyone to the slowest worker.
+        """
+        return self.compute_stretch * self.local_batch / self.gpu_rate
 
     def _comm_scheme(self):
         cal = self.cal

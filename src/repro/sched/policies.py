@@ -78,10 +78,23 @@ class ClusterState:
         #: feasibility scans, preemption planning all hit it).
         self._free: dict[int, int] = {n: gpus_per_node for n in range(num_nodes)}
         self._comm_intensity: dict[str, float] = {}
+        #: Nodes taken out of service by a fault (crash/reclaim); they
+        #: hold no jobs and accept no placements until repaired.
+        self._down: set[int] = set()
 
     # -- queries --------------------------------------------------------------
     def free_gpus(self, node: int) -> int:
         return self._free[node]
+
+    def is_up(self, node: int) -> bool:
+        return node not in self._down
+
+    def down_nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self._down))
+
+    def occupants_of(self, node: int) -> dict[str, int]:
+        """``{job: gpus}`` currently resident on ``node`` (a copy)."""
+        return dict(self._occupants[node])
 
     def tenants(self, node: int) -> int:
         """Number of distinct jobs holding GPUs on this node."""
@@ -101,8 +114,8 @@ class ClusterState:
         )
 
     def feasible_nodes(self, gpus: int, *, exclude: Iterable[int] = ()) -> list[int]:
-        """Nodes with at least ``gpus`` free, ascending id."""
-        excluded = set(exclude)
+        """Up nodes with at least ``gpus`` free, ascending id."""
+        excluded = set(exclude) | self._down
         return [
             n
             for n in range(self.num_nodes)
@@ -145,6 +158,23 @@ class ClusterState:
 
     def set_comm_intensity(self, job: str, intensity: float) -> None:
         self._comm_intensity[job] = max(0.0, float(intensity))
+
+    def set_down(self, node: int) -> None:
+        """Take a node out of service (fault injection).
+
+        The caller is responsible for evicting its occupants first;
+        marking an occupied node down is an accounting error.
+        """
+        if self._occupants[node]:
+            raise ValueError(
+                f"node {node} still hosts {sorted(self._occupants[node])}; "
+                "release its jobs before marking it down"
+            )
+        self._down.add(node)
+
+    def set_up(self, node: int) -> None:
+        """Return a repaired node to service."""
+        self._down.discard(node)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         occupied = {n: occ for n, occ in self._occupants.items() if occ}

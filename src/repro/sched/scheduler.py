@@ -173,6 +173,9 @@ class SchedReport:
     events: int = 0
     #: Job name -> allocation waypoints, for elastic replay.
     traces: dict[str, tuple[tuple[int, int], ...]] = field(default_factory=dict)
+    #: Fault-drill summary + structured event log (plain dict so reports
+    #: pickle across process backends); ``None`` when no faults ran.
+    fault_log: dict | None = None
 
     def summary(self) -> dict:
         return {
@@ -221,6 +224,11 @@ def payload_for_reports(
             "seed": first.seed,
             "policies": [r.policy for r in reports],
             "summary": {r.policy: r.summary() for r in reports},
+            **(
+                {"faults": {r.policy: r.fault_log for r in reports}}
+                if any(r.fault_log is not None for r in reports)
+                else {}
+            ),
         },
     }
 
@@ -248,6 +256,14 @@ class MultiTenantScheduler:
         default) scales the cap with the queue — ``max(10_000, 16 *
         len(jobs))`` — so trace-scale replays never hit it while
         pathological hand-written scenarios still terminate.
+    faults:
+        Optional resolved :class:`~repro.faults.plan.FaultPlan`
+        (``target="sched"``, ``at`` in virtual seconds).  Each
+        :meth:`run` drives a fresh
+        :class:`~repro.faults.sched_driver.SchedFaultDriver` from it, so
+        one scheduler can replay the same fault storm under several
+        policies.  ``None`` keeps every code path bit-identical to a
+        fault-free build.
     """
 
     def __init__(
@@ -260,6 +276,7 @@ class MultiTenantScheduler:
         seed: int = 0,
         max_events: int | None = None,
         name: str = "sched",
+        faults=None,
     ) -> None:
         from repro.api.registry import CLUSTERS, get_cluster
 
@@ -277,6 +294,7 @@ class MultiTenantScheduler:
         self.seed = seed
         self.max_events = max_events
         self.name = name
+        self.faults = faults
         # The fast-path memoization layer.  Jobs sharing a workload key
         # (profile/scheme-kind/density/resolution/batch/GPU slice) are
         # timing-identical, so the caches are keyed per *key* — a
@@ -300,7 +318,11 @@ class MultiTenantScheduler:
         return gpus
 
     def _iteration_model(
-        self, spec: JobSpec, nodes: int, contention: float
+        self,
+        spec: JobSpec,
+        nodes: int,
+        contention: float,
+        stretch: float = 1.0,
     ) -> IterationModel:
         from repro.api.registry import build_cluster
 
@@ -316,6 +338,7 @@ class MultiTenantScheduler:
             local_batch=spec.resolved_local_batch(profile),
             density=spec.density,
             contention=contention,
+            compute_stretch=stretch,
         )
 
     def _workload_key(self, spec: JobSpec) -> tuple:
@@ -325,19 +348,32 @@ class MultiTenantScheduler:
         return key
 
     def iteration_seconds(
-        self, spec: JobSpec, *, nodes: int, contention: float = 1.0
+        self,
+        spec: JobSpec,
+        *,
+        nodes: int,
+        contention: float = 1.0,
+        nic_scale: float = 1.0,
+        stretch: float = 1.0,
     ) -> float:
         """Per-iteration virtual seconds at an allocation + tenant count.
 
-        Pure in ``(workload key, nodes, contention)``, so results are
-        memoized per :meth:`run` — the event loop re-prices every
-        running job at every event and would otherwise rebuild identical
-        models millions of times on a trace-scale queue.
+        ``nic_scale`` (an active NIC degradation, <= 1) divides the
+        inter-node bandwidth on top of contention; ``stretch`` (an
+        active straggler, >= 1) multiplies the FF&BP term.  Pure in
+        ``(workload key, nodes, contention, nic_scale, stretch)``, so
+        results are memoized per :meth:`run` — the event loop re-prices
+        every running job at every event and would otherwise rebuild
+        identical models millions of times on a trace-scale queue.
         """
-        key = (self._workload_key(spec), nodes, contention)
+        key = (self._workload_key(spec), nodes, contention, nic_scale, stretch)
         cached = self._time_cache.get(key)
         if cached is None:
-            cached = self._iteration_model(spec, nodes, contention).iteration_time()
+            # A link at `nic_scale` bandwidth prices exactly like one
+            # split across 1/nic_scale extra tenants.
+            cached = self._iteration_model(
+                spec, nodes, contention / nic_scale, stretch
+            ).iteration_time()
             self._time_cache[key] = cached
         return cached
 
@@ -467,12 +503,20 @@ class MultiTenantScheduler:
         record.status = RUNNING
         if record.first_start is None:
             record.first_start = now
-            state.set_comm_intensity(
-                spec.name, self.comm_intensity(spec, nodes=take)
-            )
             record.membership = MembershipView(
                 take, gpus, instance=self.preset, min_nodes=spec.min_nodes
             )
+        elif record.membership is not None:
+            # Re-placement after a fault requeue: reconcile the
+            # membership view with the new allocation size.
+            while record.membership.num_nodes < take:
+                record.membership.join()
+            while (
+                record.membership.num_nodes > take
+                and record.membership.num_nodes > record.membership.min_nodes
+            ):
+                record.membership.revoke()
+        state.set_comm_intensity(spec.name, self.comm_intensity(spec, nodes=take))
         record.mark_waypoint()
         return True
 
@@ -577,6 +621,13 @@ class MultiTenantScheduler:
             else max(10_000, 16 * len(jobs))
         )
         state = ClusterState(self.num_nodes, self.gpus_per_node)
+        driver = None
+        if self.faults is not None:
+            from repro.faults.sched_driver import SchedContext, SchedFaultDriver
+
+            # A fresh driver per run: one plan replays identically under
+            # every policy.
+            driver = SchedFaultDriver(self.faults)
         records = {job.name: JobRecord(spec=job) for job in jobs}
         pending = sorted(
             records.values(),
@@ -601,23 +652,59 @@ class MultiTenantScheduler:
                 record = pending[arrived]
                 queued.add(record, self._job_gpus(record.spec))
                 arrived += 1
+            if driver is not None:
+                ctx = SchedContext(
+                    scheduler=self, now=now, state=state, queued=queued,
+                    running=running,
+                )
+                driver.apply_due(ctx)
             self._schedule(queued, running, state, now)
+            if driver is not None:
+                driver.note_replacements(
+                    SchedContext(
+                        scheduler=self, now=now, state=state, queued=queued,
+                        running=running,
+                    )
+                )
             if not running:
-                if arrived >= len(pending):
-                    break  # nothing placeable remains (validated away, but safe)
-                now = pending[arrived].spec.arrival_seconds
+                next_arrival = (
+                    pending[arrived].spec.arrival_seconds
+                    if arrived < len(pending)
+                    else None
+                )
+                boundary = (
+                    driver.next_boundary(now) if driver is not None else None
+                )
+                waits = [t for t in (next_arrival, boundary) if t is not None]
+                if not waits:
+                    break  # nothing placeable remains and no repair is coming
+                now = min(waits)
                 continue
 
             # Piecewise-constant rates until the next event.
+            nic_scale = (
+                driver.active_nic_scale() if driver is not None else 1.0
+            )
             rates: dict[str, tuple[float, float]] = {}
             for record in running:
                 contention = state.contention_for(record.nodes)
-                busy = self.iteration_seconds(
-                    record.spec, nodes=len(record.nodes), contention=contention
+                stretch = (
+                    driver.stretch_for(record.nodes)
+                    if driver is not None
+                    else 1.0
                 )
+                busy = self.iteration_seconds(
+                    record.spec,
+                    nodes=len(record.nodes),
+                    contention=contention,
+                    nic_scale=nic_scale,
+                    stretch=stretch,
+                )
+                # The slowdown baseline stays fault-free: the solo rate
+                # is the ideal this job is judged against.
                 solo = (
                     busy
-                    if contention <= 1
+                    if contention <= 1 and nic_scale >= 1 and stretch <= 1
                     else self.iteration_seconds(
                         record.spec, nodes=len(record.nodes), contention=1.0
                     )
@@ -636,6 +723,10 @@ class MultiTenantScheduler:
             horizon = next_completion
             if next_arrival is not None and next_arrival < horizon:
                 horizon = next_arrival
+            if driver is not None:
+                boundary = driver.next_boundary(now)
+                if boundary is not None and boundary < horizon:
+                    horizon = boundary
             dt = max(0.0, horizon - now)
 
             for record in running:
@@ -666,7 +757,10 @@ class MultiTenantScheduler:
         for record in records.values():
             if record.spec.payload is not None and record.waypoints:
                 record.train_summary = self._replay_payload(record)
-        return self._report(records, now, occupied_node_seconds, events)
+        report = self._report(records, now, occupied_node_seconds, events)
+        if driver is not None:
+            report.fault_log = driver.summary()
+        return report
 
     def _replay_payload(self, record: JobRecord) -> dict:
         """Train a payload job's allocation history with ElasticTrainer."""
@@ -791,8 +885,13 @@ def compare_policies(
     gpus_per_node: int | None = None,
     seed: int = 0,
     name: str = "sched",
+    faults=None,
 ) -> dict[str, SchedReport]:
-    """Run the same job set under several placement policies."""
+    """Run the same job set under several placement policies.
+
+    ``faults`` is an optional resolved ``FaultPlan`` (target ``sched``);
+    the identical storm replays under every policy.
+    """
     if not policies:
         raise ValueError("need at least one policy")
     canonical = [POLICIES.canonical(p) or p for p in policies]
@@ -812,6 +911,7 @@ def compare_policies(
             policy=policy,
             seed=seed,
             name=name,
+            faults=faults,
         )
         reports[scheduler.policy_name] = scheduler.run(jobs)
     return reports

@@ -15,21 +15,42 @@ state restore normally — they are world-size independent — while the
 rank-keyed error-feedback residuals are returned raw in
 ``meta["residuals"]`` for the caller to remap (see
 :func:`repro.elastic.membership.fold_residuals`).
+
+Integrity: every saved record carries a CRC32 in the metadata, and
+:func:`load_checkpoint` verifies the whole file *before* touching any
+trainer state.  Damage of any kind — flipped bytes, truncation, a
+mangled archive — surfaces as one typed :class:`CheckpointCorruptError`
+instead of an arbitrary downstream ``zlib``/``json``/shape error, so
+recovery code (``repro.faults``' checkpoint-corrupt drill, the elastic
+trainer's rollback fallback) can catch corruption and fall back to an
+older checkpoint without masking real bugs.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import zlib
 
 import numpy as np
 
 from repro.optim.sgd import SGD
 from repro.train.trainer import DistributedTrainer
 
-#: Version 2 adds the trainer RNG state; version-1 checkpoints (no RNG)
-#: still load.
-_FORMAT_VERSION = 2
+#: Version 3 adds per-record CRC32 checksums; version 2 added the
+#: trainer RNG state.  Checkpoints from versions 1 and 2 still load
+#: (without checksum verification — they carry none).
+_FORMAT_VERSION = 3
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file is damaged (bad archive, checksum mismatch).
+
+    Distinct from the ``ValueError``s a *valid* checkpoint can raise
+    (wrong world size, unknown version, shape mismatch): those mean the
+    checkpoint does not fit this trainer; this means the bytes on disk
+    are not the bytes that were written.
+    """
 
 
 def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pathlib.Path:
@@ -60,6 +81,7 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pa
         "ef_keys": ef_keys,
         # PCG64 state is a nest of (big) ints and strings — JSON-safe.
         "rng_state": trainer._rng.bit_generator.state,
+        "checksums": {key: _crc32(value) for key, value in arrays.items()},
     }
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -67,6 +89,55 @@ def save_checkpoint(trainer: DistributedTrainer, path: str | pathlib.Path) -> pa
     np.savez(path, **arrays)
     # np.savez appends .npz when missing.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def _crc32(value: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(value).tobytes())
+
+
+def _read_verified(path: pathlib.Path) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read and integrity-check a checkpoint: ``(meta, arrays)``.
+
+    Every record is read (exercising the archive's own CRCs) and, for
+    version >= 3 checkpoints, verified against the stored checksums.
+    Any damage raises :class:`CheckpointCorruptError`; a missing file
+    keeps raising ``FileNotFoundError`` (absence is not corruption).
+    """
+    try:
+        with np.load(path) as data:
+            if "__meta__" not in data.files:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path} has no __meta__ record"
+                )
+            meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+            arrays = {key: data[key] for key in data.files if key != "__meta__"}
+    except (FileNotFoundError, CheckpointCorruptError):
+        raise
+    except Exception as exc:  # zip/zlib/json/np damage — all mean corruption
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable: {exc}"
+        ) from exc
+    if not isinstance(meta, dict) or "version" not in meta or "world_size" not in meta:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} metadata lacks version/world_size"
+        )
+    checksums = meta.get("checksums")
+    if checksums is not None:
+        missing = set(checksums) - set(arrays)
+        extra = set(arrays) - set(checksums)
+        if missing or extra:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} record set does not match its manifest "
+                f"(missing: {sorted(missing)}, unexpected: {sorted(extra)})"
+            )
+        for key in sorted(arrays):
+            actual = _crc32(arrays[key])
+            if actual != checksums[key]:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path} record {key!r} failed its checksum "
+                    f"(crc32 {actual:#010x} != {checksums[key]:#010x})"
+                )
+    return meta, arrays
 
 
 def load_checkpoint(
@@ -83,62 +154,65 @@ def load_checkpoint(
     normally and the rank-keyed residuals are *not* loaded into the
     scheme; they come back raw in ``meta["residuals"]`` (``{rank:
     array}``) for the caller to fold onto the new topology.
+
+    The file is integrity-checked *before* any trainer state is touched;
+    a damaged file raises :class:`CheckpointCorruptError` and leaves the
+    trainer exactly as it was.
     """
     path = pathlib.Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-        if meta["version"] not in (1, _FORMAT_VERSION):
-            raise ValueError(f"unsupported checkpoint version {meta['version']}")
-        world_matches = meta["world_size"] == trainer.world_size
-        if strict_world and not world_matches:
-            raise ValueError(
-                f"checkpoint was taken at world size {meta['world_size']}, "
-                f"trainer has {trainer.world_size}"
-            )
-        # Restoring must reproduce the checkpointed state exactly:
-        # momentum/residual entries that post-date the checkpoint (e.g.
-        # rolling back a trainer that kept stepping) are cleared before
-        # the saved ones are loaded back in.
-        if isinstance(trainer.optimizer, SGD):
-            trainer.optimizer._velocity.clear()
-        ef = getattr(trainer.scheme, "ef", None)
-        if ef is not None and world_matches:
-            ef._residuals.clear()
-        orphan_residuals: dict[object, np.ndarray] = {}
-        for key in data.files:
-            if key.startswith("param/"):
-                name = key[len("param/"):]
-                if name not in trainer.params:
-                    raise KeyError(f"checkpoint parameter {name!r} unknown to model")
-                if data[key].shape != trainer.params[name].shape:
-                    raise ValueError(
-                        f"checkpoint parameter {name!r} has shape "
-                        f"{data[key].shape}, model expects "
-                        f"{trainer.params[name].shape}"
-                    )
-                trainer.params[name] = data[key].copy()
-            elif key.startswith("momentum/"):
-                name = key[len("momentum/"):]
-                if isinstance(trainer.optimizer, SGD):
-                    trainer.optimizer._velocity[name] = data[key].copy()
-            elif key.startswith("residual/"):
-                raw_key = key[len("residual/"):]
-                # EF keys are worker ranks (ints) in the built-in
-                # schemes; fall back to the string form otherwise.
-                ef_key: object = int(raw_key) if raw_key.lstrip("-").isdigit() else raw_key
-                if not world_matches:
-                    orphan_residuals[ef_key] = data[key].copy()
-                    continue
-                if ef is not None:
-                    ef._residuals[ef_key] = data[key].copy()
-        if orphan_residuals:
-            meta["residuals"] = orphan_residuals
+    meta, arrays = _read_verified(path)
+    if meta["version"] not in (1, 2, _FORMAT_VERSION):
+        raise ValueError(f"unsupported checkpoint version {meta['version']}")
+    world_matches = meta["world_size"] == trainer.world_size
+    if strict_world and not world_matches:
+        raise ValueError(
+            f"checkpoint was taken at world size {meta['world_size']}, "
+            f"trainer has {trainer.world_size}"
+        )
+    # Restoring must reproduce the checkpointed state exactly:
+    # momentum/residual entries that post-date the checkpoint (e.g.
+    # rolling back a trainer that kept stepping) are cleared before
+    # the saved ones are loaded back in.
+    if isinstance(trainer.optimizer, SGD):
+        trainer.optimizer._velocity.clear()
+    ef = getattr(trainer.scheme, "ef", None)
+    if ef is not None and world_matches:
+        ef._residuals.clear()
+    orphan_residuals: dict[object, np.ndarray] = {}
+    for key, value in arrays.items():
+        if key.startswith("param/"):
+            name = key[len("param/"):]
+            if name not in trainer.params:
+                raise KeyError(f"checkpoint parameter {name!r} unknown to model")
+            if value.shape != trainer.params[name].shape:
+                raise ValueError(
+                    f"checkpoint parameter {name!r} has shape "
+                    f"{value.shape}, model expects "
+                    f"{trainer.params[name].shape}"
+                )
+            trainer.params[name] = value.copy()
+        elif key.startswith("momentum/"):
+            name = key[len("momentum/"):]
+            if isinstance(trainer.optimizer, SGD):
+                trainer.optimizer._velocity[name] = value.copy()
+        elif key.startswith("residual/"):
+            raw_key = key[len("residual/"):]
+            # EF keys are worker ranks (ints) in the built-in
+            # schemes; fall back to the string form otherwise.
+            ef_key: object = int(raw_key) if raw_key.lstrip("-").isdigit() else raw_key
+            if not world_matches:
+                orphan_residuals[ef_key] = value.copy()
+                continue
+            if ef is not None:
+                ef._residuals[ef_key] = value.copy()
+    if orphan_residuals:
+        meta["residuals"] = orphan_residuals
     rng_state = meta.get("rng_state")
     if rng_state is not None:
         trainer._rng.bit_generator.state = rng_state
     return meta
 
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointCorruptError", "save_checkpoint", "load_checkpoint"]

@@ -15,7 +15,8 @@ import pytest
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 DOCS = REPO / "docs"
-PAGES = ("architecture.md", "quickstart.md", "scenarios.md", "traces.md")
+PAGES = ("architecture.md", "quickstart.md", "scenarios.md", "traces.md",
+         "faults.md")
 
 #: Documented commands this test does NOT execute, mapped to where they
 #: are exercised instead.  Keep the rationale honest: if a command stops
@@ -39,6 +40,16 @@ KNOWN_EXERCISED = {
     "'policies=[\"bin-pack\", \"spread\", \"network-aware\"]' --jobs 0": (
         "CI trace-smoke job (bench_trace_replay) + exec pool parity in "
         "tests/sched/test_traces.py"
+    ),
+    # CI faults-smoke job runs the drill bench + regression gate; the
+    # --jobs 4 CLI run is cmp'd byte-for-byte there and in
+    # tests/faults/test_cli_faults.py.
+    "python -m pytest benchmarks/bench_fault_drills.py -q --benchmark-disable": (
+        "CI faults-smoke job"
+    ),
+    "python -m repro run --config examples/configs/fault_drill.json --jobs 4 --json": (
+        "CI faults-smoke job + tests/faults/test_cli_faults.py "
+        "(jobs-width byte parity)"
     ),
 }
 
@@ -79,12 +90,15 @@ class TestDocsExist:
         assert "quickstart.md" in (DOCS / "scenarios.md").read_text()
         assert "traces.md" in (DOCS / "scenarios.md").read_text()
         assert "scenarios.md" in (DOCS / "traces.md").read_text()
+        assert "faults.md" in (DOCS / "scenarios.md").read_text()
+        assert "scenarios.md" in (DOCS / "faults.md").read_text()
 
     def test_architecture_has_mermaid_subsystem_map(self):
         text = (DOCS / "architecture.md").read_text()
         assert "```mermaid" in text
         for subsystem in ("repro.api", "repro.sched", "repro.elastic",
-                          "repro.comm", "repro.cluster", "repro.perf"):
+                          "repro.comm", "repro.cluster", "repro.perf",
+                          "repro.faults"):
             assert subsystem in text, subsystem
 
     def test_docs_reference_only_existing_paths(self):

@@ -1,0 +1,196 @@
+"""End-to-end fault drills through the facade: recovery + determinism.
+
+The ISSUE acceptance bar lives here: a seeded fault-storm drill (five
+composed fault kinds, including the unwarned crash and the AZ-wide
+reclaim) completes with recovery on every registered scheme, and the
+event log + BENCH payload are byte-identical across repeat runs and
+``--jobs`` widths.
+"""
+
+import json
+
+import pytest
+
+from repro.api.config import RunConfig
+from repro.api.facade import run
+from repro.api.registry import SCHEMES
+from repro.faults.drill import (
+    DRILL_COLUMNS,
+    STORM_EVENTS,
+    drill_config,
+    drills_payload,
+    run_drills,
+)
+
+
+def _config(events, *, num_nodes=4, min_nodes=1, iterations=40,
+            checkpoint_every=10, seed=7):
+    return RunConfig.from_dict(
+        {
+            "name": "fault-unit",
+            "seed": seed,
+            "cluster": {
+                "instance": "tencent",
+                "num_nodes": num_nodes,
+                "gpus_per_node": 2,
+            },
+            "comm": {"scheme": "mstopk", "density": 0.05},
+            "train": {"model": "mlp-tiny", "num_samples": 256, "local_batch": 8},
+            "elastic": {
+                "iterations": iterations,
+                "schedule": "none",
+                "checkpoint_every": checkpoint_every,
+                "min_nodes": min_nodes,
+            },
+            "faults": {"events": events},
+        }
+    )
+
+
+def _phases(report, phase):
+    return [e for e in report.faults["entries"] if e["phase"] == phase]
+
+
+class TestStormRecoveryEveryScheme:
+    def test_storm_composes_required_kinds(self):
+        kinds = {event["kind"] for event in STORM_EVENTS}
+        # >= 3 kinds composed, the unwarned crash and AZ reclaim included.
+        assert {"node-crash", "az-reclaim"} <= kinds
+        assert len(kinds) >= 3
+
+    def test_every_registered_scheme_recovers(self):
+        results = run_drills()
+        assert [r["scheme"] for r in results] == SCHEMES.available()
+        for result in results:
+            assert result["injected"] == len(STORM_EVENTS), result
+            assert result["recovered"] == result["injected"], result
+            assert result["absorbed"] == 0, result
+            assert result["corrupt_checkpoints"] >= 1, result
+            assert result["lost_iterations"] > 0, result
+            assert result["detect_recover_s"] > 0, result
+            # Storm goodput is real but strictly below the baseline.
+            assert 0 < result["storm_goodput"] < result["baseline_goodput"]
+
+    def test_drill_scores_latency_and_goodput_vs_baseline(self):
+        payload = drills_payload(schemes=["mstopk"])
+        assert payload["columns"] == DRILL_COLUMNS
+        (row,) = payload["rows"]
+        idx = {c: i for i, c in enumerate(DRILL_COLUMNS)}
+        assert 0 < row[idx["goodput_ratio"]] < 1
+        assert row[idx["storm_usd_per_kiter"]] > row[idx["baseline_usd_per_kiter"]]
+        assert payload["meta"]["digests"]["mstopk"] == row[idx["log_digest"]]
+
+
+class TestDeterminism:
+    def test_repeat_runs_byte_identical(self):
+        config = drill_config("topk", storm=True)
+        first, second = run(config), run(config)
+        canon = lambda r: json.dumps(r.faults, sort_keys=True)  # noqa: E731
+        assert canon(first) == canon(second)
+        assert json.dumps(first.bench_payload(), sort_keys=True) == json.dumps(
+            second.bench_payload(), sort_keys=True
+        )
+
+    def test_log_timestamps_are_virtual(self):
+        report = run(drill_config("dense", storm=True))
+        total = report.elastic_run.total_seconds
+        for entry in report.faults["entries"]:
+            assert 0 <= entry["t"] <= total + 1e-9
+
+    def test_payload_embeds_log_and_summary(self):
+        report = run(drill_config("dense", storm=True))
+        meta = report.bench_payload()["meta"]
+        assert meta["faults"]["summary"]["injected"] == len(STORM_EVENTS)
+        assert meta["faults"]["entries"] == report.faults["entries"]
+        summary = report.summary
+        assert summary["fault_injections"] == len(STORM_EVENTS)
+        assert summary["fault_recoveries"] == len(STORM_EVENTS)
+
+    def test_no_faults_section_leaves_payload_unchanged(self):
+        report = run(drill_config("dense", storm=False))
+        assert report.faults is None
+        assert "faults" not in report.bench_payload()["meta"]
+        assert "fault_injections" not in report.summary
+
+
+class TestInjectionEdgeCases:
+    def test_crash_at_min_nodes_floor_absorbed(self):
+        config = _config(
+            [{"kind": "node-crash", "at": 15}], num_nodes=2, min_nodes=2
+        )
+        report = run(config)
+        assert report.faults["summary"]["absorbed"] == 1
+        assert report.faults["summary"]["recovered"] == 0
+        assert report.elastic_run.rollbacks == 0
+
+    def test_explicit_node_crash_hits_that_node(self):
+        config = _config([{"kind": "node-crash", "at": 15, "node": 2}])
+        report = run(config)
+        (inject,) = _phases(report, "inject")
+        assert inject["detail"]["nodes"] == [2]
+        (recover,) = _phases(report, "recover")
+        assert recover["detail"]["lost_iterations"] == 5  # rolled back to ckpt(10)
+
+    def test_corrupt_initial_checkpoint_forces_scratch_restart(self):
+        # The trainer checkpoints at iteration 0, so an early corruption
+        # hits that initial snapshot; the crash that follows finds no
+        # intact slot and restarts from scratch.
+        config = _config(
+            [
+                {"kind": "checkpoint-corrupt", "at": 5},
+                {"kind": "node-crash", "at": 7},
+            ]
+        )
+        report = run(config)
+        assert report.elastic_run.corrupt_checkpoints == 1
+        assert report.elastic_run.lost_iterations == 7
+
+    def test_all_checkpoints_corrupt_restarts_from_scratch(self):
+        # Damage both double-buffered slots, then crash: the rebuild walks
+        # the stack, rejects both via CRC, and restarts from iteration 0.
+        config = _config(
+            [
+                {"kind": "checkpoint-corrupt", "at": 12},
+                {"kind": "checkpoint-corrupt", "at": 22},
+                {"kind": "node-crash", "at": 25},
+            ]
+        )
+        report = run(config)
+        assert report.elastic_run.corrupt_checkpoints == 2
+        assert report.elastic_run.lost_iterations == 25
+        assert report.elastic_run.useful_iterations == 40
+
+    def test_nic_window_expires_with_recover_entry(self):
+        config = _config(
+            [{"kind": "nic-degrade", "at": 10, "duration": 8, "scale": 0.5}]
+        )
+        report = run(config)
+        (recover,) = _phases(report, "recover")
+        assert recover["kind"] == "nic-degrade"
+        assert recover["detail"]["action"] == "bandwidth restored"
+        assert recover["t"] > 0
+
+    def test_straggler_slows_iterations_in_window(self):
+        base = run(_config([], seed=3))
+
+        slowed = run(
+            _config(
+                [{"kind": "straggler", "at": 10, "duration": 20, "stretch": 3.0}],
+                seed=3,
+            )
+        )
+        assert slowed.elastic_run.total_seconds > base.elastic_run.total_seconds
+        assert slowed.elastic_run.useful_iterations == base.elastic_run.useful_iterations
+
+
+@pytest.mark.parametrize("jobs", [2])
+def test_pool_width_invariance_in_process(jobs):
+    """ParallelSweeper at any width returns the serial drill bit for bit."""
+    from repro.exec.sweeper import ParallelSweeper
+
+    serial = drills_payload(schemes=["dense", "mstopk"])
+    pooled = drills_payload(
+        schemes=["dense", "mstopk"],
+        sweeper=ParallelSweeper("process", jobs=jobs),
+    )
+    assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)

@@ -1,0 +1,85 @@
+"""FaultLog: structured, wall-clock-free, canonically serialised."""
+
+import numpy as np
+import pytest
+
+from repro.faults.log import PHASES, FaultLog
+
+
+def _sample_log() -> FaultLog:
+    log = FaultLog()
+    log.append("inject", t=10.0, kind="node-crash", fault_id=0, target="run",
+               nodes=[2])
+    log.append("detect", t=10.0, kind="node-crash", fault_id=0, target="run")
+    log.append("recover", t=14.5, kind="node-crash", fault_id=0, target="run",
+               latency_s=4.5)
+    return log
+
+
+class TestAppend:
+    def test_seq_and_rounding(self):
+        log = _sample_log()
+        entries = log.to_dicts()
+        assert [e["seq"] for e in entries] == [0, 1, 2]
+        assert entries[0]["detail"] == {"nodes": [2]}
+        assert "detail" not in entries[1]
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown log phase"):
+            FaultLog().append("explode", t=0, kind="x", fault_id=0, target="run")
+
+    def test_phases_cover_lifecycle(self):
+        assert PHASES == ("inject", "detect", "recover", "repair", "absorb")
+
+    def test_numpy_scalars_coerced(self):
+        log = FaultLog()
+        log.append("inject", t=np.float64(1.5), kind="x", fault_id=0,
+                   target="run", node=np.int64(3))
+        entry = log.to_dicts()[0]
+        assert entry["detail"]["node"] == 3
+        assert isinstance(entry["detail"]["node"], int)
+
+    def test_non_scalar_detail_fails_loudly(self):
+        with pytest.raises(TypeError, match="JSON scalars"):
+            FaultLog().append("inject", t=0, kind="x", fault_id=0,
+                              target="run", payload=object())
+
+    def test_to_dicts_is_a_copy(self):
+        log = _sample_log()
+        log.to_dicts()[0]["detail"]["nodes"] = "mutated"
+        assert log.to_dicts()[0]["detail"] == {"nodes": [2]}
+
+
+class TestDigest:
+    def test_digest_stable_across_instances(self):
+        assert _sample_log().digest() == _sample_log().digest()
+        assert len(_sample_log().digest()) == 16
+
+    def test_digest_changes_with_content(self):
+        log = _sample_log()
+        other = _sample_log()
+        other.append("absorb", t=20.0, kind="straggler", fault_id=1, target="run")
+        assert log.digest() != other.digest()
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = _sample_log().to_json()
+        assert ": " not in text and ", " not in text
+        entry = text[text.index("{"):text.index("}") + 1]
+        keys = [k.split('"')[1] for k in entry.split(",")]
+        assert keys == sorted(keys)
+
+
+class TestScoring:
+    def test_phase_counts_drop_zeroes(self):
+        assert _sample_log().phase_counts() == {
+            "inject": 1, "detect": 1, "recover": 1,
+        }
+
+    def test_latencies_inject_to_recover(self):
+        assert _sample_log().latencies() == {0: 4.5}
+        assert _sample_log().mean_latency() == 4.5
+
+    def test_mean_latency_none_when_nothing_recovered(self):
+        log = FaultLog()
+        log.append("inject", t=1.0, kind="x", fault_id=0, target="run")
+        assert log.mean_latency() is None
