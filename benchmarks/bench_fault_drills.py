@@ -1,17 +1,21 @@
 """Fault drills: recovery scorecard + replay determinism gates.
 
-Runs the seeded five-fault storm (:data:`repro.faults.drill.STORM_EVENTS`
-— NIC flap, persistent straggler, unwarned node crash, checkpoint
-corruption, AZ-wide spot reclaim) against **every registered aggregation
-scheme**, paired with a fault-free baseline per scheme, and scores
-detection-to-recovery latency, goodput under the storm vs baseline,
-lost work, and $/kilo-iteration.
+Runs the seeded seven-fault storm (:data:`repro.faults.drill.STORM_EVENTS`
+— NIC flap, fail-slow disk, persistent straggler, gray link, unwarned
+node crash, checkpoint corruption, AZ-wide spot reclaim) against
+**every registered aggregation scheme**, paired with a fault-free
+baseline per scheme, and scores detection-to-recovery latency, goodput
+under the storm vs baseline, lost work, and $/kilo-iteration.  The
+payload also embeds the gray-failure *policy drill*
+(``meta.policy_drill``): the committed gray storm replayed once per
+placement policy, where the ``fault-aware`` policy must beat every
+fault-blind built-in on goodput under the storm.
 
 Determinism is the headline gate: the whole drill matrix is produced
 twice — serially and through a 2-worker process pool — and the two
-BENCH payloads (rows, digests, full fault logs) must match bit for bit.
-Every timestamp in the fault log is *virtual* seconds, so this holds on
-any host at any ``--jobs`` width.
+BENCH payloads (rows, digests, full fault logs, policy drill) must
+match bit for bit.  Every timestamp in the fault log is *virtual*
+seconds, so this holds on any host at any ``--jobs`` width.
 
 Emits ``results/BENCH_fault_drills_run.json``; the *committed* baseline
 lives at ``results/BENCH_fault_drills.json`` and is never written by a
@@ -26,16 +30,17 @@ import pytest
 
 from repro.api.registry import SCHEMES
 from repro.exec.sweeper import ParallelSweeper
-from repro.faults.drill import STORM_EVENTS, drills_payload
+from repro.faults.drill import POLICY_DRILL_POLICIES, STORM_EVENTS, drills_payload
 
 SEED = 7
 POOL_JOBS = 2
 
-#: Goodput-under-storm floor: the storm costs rollback-replay work and
-#: degraded-NIC iterations, but a scheme that keeps less than this
-#: fraction of its fault-free goodput has broken recovery, not slow
-#: recovery (the whole matrix sits near 0.19 today).
-MIN_GOODPUT_RATIO = 0.15
+#: Goodput-under-storm floor: the storm costs rollback-replay work,
+#: degraded-NIC and gray-link iterations, and budget-blown checkpoint
+#: retries, but a scheme that keeps less than this fraction of its
+#: fault-free goodput has broken recovery, not slow recovery (the whole
+#: matrix sits near 0.063 under the seven-fault storm today).
+MIN_GOODPUT_RATIO = 0.05
 
 
 def _canonical(payload: dict) -> str:
@@ -70,6 +75,7 @@ def drills(save_result):
         "index": index,
         "deterministic": deterministic,
         "schemes": serial["meta"]["schemes"],
+        "policy_drill": serial["meta"]["policy_drill"],
     }
 
 
@@ -110,6 +116,33 @@ def test_bench_drills_recover(benchmark, drills):
             assert row[idx["corrupt_checkpoints"]] >= 1, (
                 f"{scheme}: the corrupted checkpoint was never detected"
             )
+        return True
+
+    assert benchmark(check)
+
+
+def test_bench_policy_drill_fault_aware_wins(benchmark, drills):
+    """Reading the health ledger must pay: fault-aware beats fault-blind."""
+
+    def check():
+        drill = drills["policy_drill"]
+        idx = {column: i for i, column in enumerate(drill["columns"])}
+        by_policy = {row[idx["policy"]]: row for row in drill["rows"]}
+        assert set(by_policy) == set(POLICY_DRILL_POLICIES)
+        aware = by_policy["fault-aware"]
+        for blind in ("bin-pack", "spread", "network-aware"):
+            assert (
+                aware[idx["storm_goodput"]] > by_policy[blind][idx["storm_goodput"]]
+            ), (
+                f"fault-aware goodput under the gray storm "
+                f"({aware[idx['storm_goodput']]}) does not beat {blind} "
+                f"({by_policy[blind][idx['storm_goodput']]})"
+            )
+        # The storm's flap train must actually trip the ledger, on every
+        # policy (the health timeline is policy-independent).
+        for policy, row in by_policy.items():
+            assert row[idx["quarantines"]] >= 1, (policy, row)
+        assert set(drill["digests"]) == set(POLICY_DRILL_POLICIES)
         return True
 
     assert benchmark(check)

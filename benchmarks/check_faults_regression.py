@@ -16,10 +16,16 @@ fault-subsystem acceptance bar:
   detect and recover from every injected fault (``recovered ==
   injected``, nothing absorbed, the corrupted checkpoint caught);
 * **goodput floor** (hard, every host) — goodput under the storm must
-  keep at least ``--min-goodput-ratio`` (default 0.15) of the no-fault
+  keep at least ``--min-goodput-ratio`` (default 0.05) of the no-fault
   baseline.  Pure simulation, so the ratio is host-independent;
 * **goodput drift** (advisory) — a per-scheme ratio drop against the
-  committed baseline beyond ``--threshold`` only prints a note.
+  committed baseline beyond ``--threshold`` only prints a note;
+* **policy drill** (hard, every host) — ``meta.policy_drill`` must show
+  the ``fault-aware`` policy strictly beating every fault-blind
+  built-in on goodput under the committed gray storm, with the flap
+  train quarantining its repeat offender, and the per-policy fault-log
+  digests (which cover the ``gray-net`` windows and the health
+  timeline) must equal the committed baseline's.
 
 Usage (as the CI ``faults-smoke`` job does)::
 
@@ -40,7 +46,7 @@ import sys
 def load_payload(path: pathlib.Path) -> dict:
     payload = json.loads(path.read_text())
     meta = payload.get("meta", {})
-    for key in ("deterministic", "schemes", "digests"):
+    for key in ("deterministic", "schemes", "digests", "policy_drill"):
         if key not in meta:
             raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
     for key in ("columns", "rows"):
@@ -59,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed BENCH_fault_drills.json")
     parser.add_argument("--current", type=pathlib.Path, required=True,
                         help="freshly measured BENCH_fault_drills_run.json")
-    parser.add_argument("--min-goodput-ratio", type=float, default=0.15,
+    parser.add_argument("--min-goodput-ratio", type=float, default=0.05,
                         help="storm/baseline goodput floor per scheme")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="fractional goodput-ratio drop vs the committed "
@@ -126,6 +132,68 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"ok: every scheme kept >= {args.min_goodput_ratio} goodput under the storm")
+
+    def _drill_cell(drill: dict, row: list, column: str):
+        return row[drill["columns"].index(column)]
+
+    cur_drill = cur["meta"]["policy_drill"]
+    base_drill = base["meta"]["policy_drill"]
+    by_policy = {
+        _drill_cell(cur_drill, row, "policy"): row for row in cur_drill["rows"]
+    }
+    blind = [p for p in by_policy if p != "fault-aware"]
+    if "fault-aware" not in by_policy or not blind:
+        failures.append("policy drill lacks fault-aware vs fault-blind rows")
+        print("FAIL: policy drill lacks fault-aware vs fault-blind rows")
+    else:
+        aware_goodput = _drill_cell(cur_drill, by_policy["fault-aware"],
+                                    "storm_goodput")
+        beaten = [
+            p for p in blind
+            if aware_goodput > _drill_cell(cur_drill, by_policy[p], "storm_goodput")
+        ]
+        if len(beaten) != len(blind):
+            losers = sorted(set(blind) - set(beaten))
+            failures.append(
+                f"fault-aware does not beat {losers} on goodput under the storm"
+            )
+            print(
+                f"FAIL: fault-aware goodput {aware_goodput} does not beat "
+                f"{losers} under the gray storm"
+            )
+        else:
+            print(
+                f"ok: fault-aware goodput {aware_goodput} beats all "
+                f"{len(blind)} fault-blind policies under the gray storm"
+            )
+        no_quarantine = [
+            p for p, row in sorted(by_policy.items())
+            if _drill_cell(cur_drill, row, "quarantines") < 1
+        ]
+        if no_quarantine:
+            failures.append(f"flap train never quarantined: {no_quarantine}")
+            print(f"FAIL: flap train never quarantined for {no_quarantine}")
+        else:
+            print("ok: the gray storm's flap train tripped the health ledger")
+
+    drill_drifted = sorted(
+        policy
+        for policy in base_drill["digests"]
+        if cur_drill["digests"].get(policy) != base_drill["digests"][policy]
+    )
+    if drill_drifted:
+        failures.append(f"policy-drill digests drifted: {drill_drifted}")
+        print(
+            f"FAIL: policy-drill fault-log digests drifted for "
+            f"{drill_drifted} — the gray-storm replay (gray-net windows, "
+            "health timeline) changed semantically; update the committed "
+            "baseline deliberately if intended"
+        )
+    else:
+        print(
+            f"ok: {len(base_drill['digests'])} per-policy gray-storm "
+            "digests match baseline"
+        )
 
     base_ratio = {
         _cell(base, row, "scheme"): _cell(base, row, "goodput_ratio")

@@ -203,6 +203,15 @@ class FaultConfig:
     #: Spacing between repeats (same unit as ``at``); required > 0 when
     #: ``repeat`` > 1.
     period: float = 0.0
+    #: gray-net: packet-loss probability on the sick link, [0, 1);
+    #: retransmissions stretch effective bandwidth by 1 / (1 - loss).
+    loss_rate: float = 0.05
+    #: gray-net: latency-jitter amplitude (>= 0); scales the seeded
+    #: per-iteration stochastic comm stretch.
+    jitter: float = 0.5
+    #: gray-net: distribution the per-iteration jitter draws from
+    #: (``exp`` or ``lognormal``).
+    jitter_dist: str = "exp"
 
 
 @dataclass(frozen=True)
@@ -226,6 +235,19 @@ class FaultsConfig:
     #: closed form rolls surprise-hit jobs back to (elastic runs use
     #: their real ``elastic.checkpoint_every`` instead).
     checkpoint_iterations: int = 25
+    #: Virtual-seconds budget for one checkpoint write (elastic runs);
+    #: a disk-slow-stretched write exceeding it is abandoned and retried
+    #: on the fallback slot.  0 = unlimited (the pre-gray behaviour).
+    checkpoint_timeout: float = 0.0
+    #: Node suspicion score at which the health ledger quarantines a
+    #: repeat offender (> 0); read by the ``fault-aware`` policy.
+    quarantine_threshold: float = 2.0
+    #: Suspicion half-life in virtual seconds (> 0): how fast the
+    #: phi-accrual-style score decays between fault observations.
+    health_half_life: float = 300.0
+    #: Virtual seconds a quarantined node sits out before a probe
+    #: halves its score and returns it to the candidate pool (>= 0).
+    probe_cooldown: float = 180.0
 
 
 def _faults_from_dict(data: Any) -> FaultsConfig:

@@ -117,6 +117,28 @@ class NetworkModel:
             inter=self.inter if inter_scale == 1 else self.inter.scaled(inter_scale),
         )
 
+    def lossy(self, loss_rate: float = 0.0) -> "NetworkModel":
+        """This cluster over a *gray* inter-node link dropping packets.
+
+        Packet loss at rate ``p`` forces the lost fraction to be
+        retransmitted, so the effective per-byte cost of the inter link
+        stretches by ``1 / (1 - p)``.  Latency is untouched — the gray
+        link is close but unreliable; the *stochastic* latency-jitter
+        half of a gray failure is priced separately per iteration
+        (:class:`repro.perf.iteration_model.IterationModel`'s
+        ``comm_jitter``).  ``loss_rate=0`` returns ``self`` so the
+        healthy path shares object identity with the original model.
+        """
+        if not 0 <= loss_rate < 1:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate == 0:
+            return self
+        return NetworkModel(
+            topology=self.topology,
+            intra=self.intra,
+            inter=self.inter.scaled(1.0 - loss_rate),
+        )
+
     # -- point-to-point ---------------------------------------------------------
     def p2p_time(self, rank_a: int, rank_b: int, nbytes: float) -> float:
         """Point-to-point transfer time between two GPUs."""

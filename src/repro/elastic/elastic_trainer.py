@@ -268,7 +268,15 @@ class ElasticTrainer:
         self._ckpt_stack.append((path, useful))
         self._last_ckpt_useful = useful
         report.checkpoints += 1
-        self._charge(report, self.checkpoint_seconds)
+        if self.faults is not None:
+            # A fail-slow disk stretches the write (and may abandon and
+            # retry it against the checkpoint_timeout budget).
+            seconds = self.faults.checkpoint_write_seconds(
+                self.checkpoint_seconds, report
+            )
+        else:
+            seconds = self.checkpoint_seconds
+        self._charge(report, seconds)
         if self.faults is not None:
             self.faults.on_checkpoint_saved(path)
 
@@ -318,7 +326,11 @@ class ElasticTrainer:
         self._last_ckpt_useful = restored
         self._shards = self.membership.reshard(x, y)
         report.world_sizes.append(self.membership.world_size)
-        self._charge(report, self.restart_seconds)
+        restart = self.restart_seconds
+        if self.faults is not None:
+            # Restores read the checkpoint back through the same sick disk.
+            restart = self.faults.checkpoint_read_seconds(restart)
+        self._charge(report, restart)
         return restored
 
     # -- accounting ------------------------------------------------------------
@@ -349,6 +361,10 @@ class ElasticTrainer:
             )
         else:
             comm = straggled_flat_time(breakdown.total, factors)
+        if self.faults is not None:
+            # Gray links add a fresh stochastic latency-jitter stretch
+            # every step (1.0 outside gray-net windows).
+            comm *= self.faults.comm_jitter()
         compute = self.compute_seconds * float(np.max(factors))
         return compute, comm
 

@@ -1,15 +1,20 @@
 """Fault drills: recovery scorecard under a composed fault storm.
 
 The paper's evaluation assumes sixteen healthy dedicated nodes; public
-cloud fleets crash, flap, straggle, and lose whole availability zones.
-This experiment replays one seeded five-fault storm — NIC flap,
-persistent straggler, *unwarned* node crash, checkpoint corruption, and
-a correlated AZ-wide spot reclaim — against every registered aggregation
-scheme through the elastic trainer, and scores detection-to-recovery
-latency, goodput under the storm vs the no-fault baseline, lost work,
-and $/kilo-iteration.  A second act drives the same fault kinds through
+cloud fleets crash, flap, straggle, go gray, and lose whole
+availability zones.  This experiment replays one seeded seven-fault
+storm — NIC flap, fail-slow disk, persistent straggler, gray link,
+*unwarned* node crash, checkpoint corruption, and a correlated AZ-wide
+spot reclaim — against every registered aggregation scheme through the
+elastic trainer, and scores detection-to-recovery latency, goodput
+under the storm vs the no-fault baseline, lost work, and
+$/kilo-iteration.  A second act drives the same fault kinds through
 the multi-tenant scheduler, where a crash shrinks or requeues tenants
-and a ``duration`` schedules node repair.
+and a ``duration`` schedules node repair.  A third act replays the
+gray-failure storm once per placement policy: the ``fault-aware``
+policy reads the node-health ledger and keeps production jobs off the
+flapping/straggling/gray hardware every fault-blind built-in keeps
+re-placing them onto.
 
 The headline: compressed schemes don't just communicate cheaper — they
 *recover* cheaper, because the rollback-replay tax after an unwarned
@@ -21,7 +26,14 @@ from __future__ import annotations
 
 from repro.api.config import ClusterConfig, FaultConfig, FaultsConfig, JobConfig, SchedConfig
 from repro.api.facade import run_sched
-from repro.faults.drill import DRILL_COLUMNS, STORM_EVENTS, run_drills
+from repro.faults.drill import (
+    DRILL_COLUMNS,
+    GRAY_STORM_EVENTS,
+    POLICY_DRILL_COLUMNS,
+    STORM_EVENTS,
+    run_drills,
+    run_policy_drills,
+)
 from repro.utils.tables import print_table
 
 #: Schemes the trimmed (--fast) drill covers.
@@ -34,7 +46,7 @@ def sched_storm_scenario(*, seed: int = 7) -> SchedConfig:
         name="fault-storm-sched",
         seed=seed,
         cluster=ClusterConfig(instance="tencent", num_nodes=6, gpus_per_node=2),
-        policies=("bin-pack", "spread"),
+        policies=("bin-pack", "spread", "fault-aware"),
         jobs=(
             JobConfig(
                 name="resnet-prod",
@@ -109,6 +121,21 @@ def main(fast: bool = False) -> None:
         ],
         sched_rows,
         title="Sched fault storm: recovery by placement policy",
+    )
+
+    print(f"\nGray-failure storm ({len(GRAY_STORM_EVENTS)} faults, seed 7) "
+          "by placement policy:")
+    for event in GRAY_STORM_EVENTS:
+        print(f"  {event}")
+    policy_results = run_policy_drills(seed=7)
+    policy_rows = [
+        [result[column] for column in POLICY_DRILL_COLUMNS]
+        for result in policy_results
+    ]
+    print_table(
+        POLICY_DRILL_COLUMNS,
+        policy_rows,
+        title="Policy drill: goodput under the gray storm, per policy",
     )
 
 

@@ -11,14 +11,17 @@ so replay is bit-identical at any ``--jobs`` width.  See
 """
 
 from repro.faults.drill import drill_config, drills_payload, run_drills
+from repro.faults.health import KIND_WEIGHTS, HealthPolicy, NodeHealthLedger
 from repro.faults.injector import FaultInjector, RunContext
 from repro.faults.log import PHASES, FaultLog
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.faults.registry import (
     FAULT_TARGETS,
     FAULTS,
+    JITTER_DISTS,
     Fault,
     FaultError,
+    gray_jitter_draw,
     register_fault,
 )
 from repro.faults.sched_driver import SchedContext, SchedFaultDriver
@@ -26,9 +29,11 @@ from repro.faults.sched_driver import SchedContext, SchedFaultDriver
 __all__ = [
     "FAULTS",
     "FAULT_TARGETS",
+    "JITTER_DISTS",
     "Fault",
     "FaultError",
     "register_fault",
+    "gray_jitter_draw",
     "FaultEvent",
     "FaultPlan",
     "FaultLog",
@@ -37,6 +42,9 @@ __all__ = [
     "RunContext",
     "SchedFaultDriver",
     "SchedContext",
+    "KIND_WEIGHTS",
+    "HealthPolicy",
+    "NodeHealthLedger",
     "drill_config",
     "run_drills",
     "drills_payload",

@@ -25,8 +25,8 @@ from dataclasses import dataclass
 from repro.api.registry import build_scheme
 from repro.faults.log import FaultLog
 from repro.faults.plan import FaultPlan
-from repro.faults.registry import FAULTS
-from repro.utils.seeding import new_rng
+from repro.faults.registry import FAULTS, gray_jitter_draw
+from repro.utils.seeding import derive_seed, new_rng
 
 #: How many bytes :func:`_flip_bytes` inverts mid-file.
 _FLIP_SPAN = 64
@@ -59,14 +59,19 @@ class FaultInjector:
         # Active windows: (until_wall_iteration, value, event).
         self._nic: list[tuple[float, float, object]] = []
         self._stragglers: dict[int, tuple[float, float, object]] = {}
+        # Gray-link windows: (until, event, per-window jitter rng).
+        self._gray: list[tuple[float, object, object]] = []
+        # Fail-slow disk windows: (until, stretch, event).
+        self._disk: list[tuple[float, float, object]] = []
         # str(path) -> (event, t_inject) for damaged-but-undetected files.
         self._corrupted: dict[str, tuple[object, float]] = {}
-        # (membership epoch, scale) -> degraded comm time breakdown.
-        self._breakdown_cache: dict[tuple[int, float], object] = {}
+        # (membership epoch, scale, loss) -> degraded comm time breakdown.
+        self._breakdown_cache: dict[tuple[int, float, float], object] = {}
         self.injected = 0
         self.recovered = 0
         self.absorbed = 0
         self.lost_iterations = 0
+        self.checkpoint_retries = 0
 
     # -- trainer hooks ---------------------------------------------------------
     def on_iteration(self, trainer, wall, useful, report, x, y) -> int:
@@ -241,6 +246,58 @@ class FaultInjector:
             source="per-step straggler telemetry",
         )
 
+    def gray_net(self, event, ctx) -> None:
+        """Open a gray-link window: packet loss + per-iteration jitter."""
+        t = ctx.report.total_seconds
+        self.injected += 1
+        # Each window owns its jitter stream, derived from the plan seed
+        # and the fault id — independent of pool width and of every
+        # other random stream in the run.
+        rng = new_rng(derive_seed(self.plan.seed, "gray-net", event.fault_id))
+        self._gray.append((event.until, event, rng))
+        self.log.append(
+            "inject",
+            t=t,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            iteration=ctx.wall,
+            loss_rate=float(event.loss_rate),
+            jitter=float(event.jitter),
+            jitter_dist=event.jitter_dist,
+        )
+        self.log.append(
+            "detect",
+            t=t,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            source="per-link loss/latency telemetry",
+        )
+
+    def slow_disk(self, event, ctx) -> None:
+        """Open a fail-slow-disk window stretching checkpoint IO."""
+        t = ctx.report.total_seconds
+        self.injected += 1
+        self._disk.append((event.until, float(event.stretch), event))
+        self.log.append(
+            "inject",
+            t=t,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            iteration=ctx.wall,
+            stretch=float(event.stretch),
+        )
+        self.log.append(
+            "detect",
+            t=t,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            source="checkpoint write latency telemetry",
+        )
+
     def corrupt_checkpoint(self, event, ctx) -> None:
         """Flip bytes in the newest checkpoint file on disk."""
         t = ctx.report.total_seconds
@@ -280,17 +337,49 @@ class FaultInjector:
             return 1.0
         return min(scale for _, scale, _ in self._nic)
 
+    def gray_loss(self) -> float:
+        """Combined packet-loss rate across active gray-net windows."""
+        survival = 1.0
+        for _, event, _ in self._gray:
+            survival *= 1.0 - event.loss_rate
+        return 1.0 - survival
+
+    def comm_jitter(self) -> float:
+        """Stochastic comm stretch for *this* step (>= 1).
+
+        Draws once per active gray-net window from that window's seeded
+        stream — the jittery half of a gray link, on top of the clean
+        retransmission cost :meth:`comm_breakdown` prices.
+        """
+        if not self._gray:
+            return 1.0
+        stretch = 1.0
+        for _, event, rng in self._gray:
+            stretch *= 1.0 + gray_jitter_draw(event, rng)
+        return stretch
+
     def comm_breakdown(self, trainer):
-        """Comm time breakdown for the current step, NIC-degradation-aware."""
+        """Comm time breakdown for the current step, degradation-aware.
+
+        Covers the deterministic link effects: NIC bandwidth scaling
+        and gray-net retransmission loss (jitter is applied separately
+        per iteration via :meth:`comm_jitter`).
+        """
         scale = self.nic_scale()
-        if scale >= 1.0:
+        loss = self.gray_loss()
+        if scale >= 1.0 and loss <= 0.0:
             return trainer.trainer.scheme.time_model(trainer.timing_d)
-        key = (trainer.membership.epoch, scale)
+        key = (trainer.membership.epoch, scale, loss)
         breakdown = self._breakdown_cache.get(key)
         if breakdown is None:
+            network = trainer.membership.network()
+            if scale < 1.0:
+                network = network.degraded(inter_scale=scale)
+            if loss > 0.0:
+                network = network.lossy(loss)
             degraded = build_scheme(
                 trainer.scheme_name,
-                trainer.membership.network().degraded(inter_scale=scale),
+                network,
                 density=trainer.density,
                 wire_bytes=trainer.wire_bytes,
                 n_samplings=trainer.n_samplings,
@@ -311,6 +400,60 @@ class FaultInjector:
                 _, stretch, _ = self._stragglers[node]
                 factors[membership.node_index(node)] *= stretch
         return factors
+
+    # -- checkpoint IO pricing -------------------------------------------------
+    def disk_stretch(self) -> float:
+        """Worst active fail-slow-disk stretch (1.0 when disks are healthy)."""
+        if not self._disk:
+            return 1.0
+        return max(stretch for _, stretch, _ in self._disk)
+
+    def checkpoint_write_seconds(self, base: float, report) -> float:
+        """Virtual cost of one checkpoint write on the (possibly sick) disk.
+
+        Healthy disks pay ``base``.  Under a disk-slow window the write
+        stretches; when the stretched cost would exceed the plan's
+        ``checkpoint_timeout`` budget, the write is abandoned at the
+        budget, backed off for half a healthy write, and retried on the
+        fallback slot (a healthy device) — both steps logged under the
+        window's fault id.
+        """
+        stretch = self.disk_stretch()
+        if stretch <= 1.0:
+            return base
+        cost = base * stretch
+        timeout = self.plan.checkpoint_timeout
+        if timeout <= 0 or cost <= timeout + 1e-12:
+            return cost
+        _, _, event = max(self._disk, key=lambda rec: (rec[1], -rec[2].fault_id))
+        t0 = report.total_seconds
+        backoff = 0.5 * base
+        total = timeout + backoff + base
+        self.checkpoint_retries += 1
+        self.log.append(
+            "detect",
+            t=t0 + timeout,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            action="checkpoint write exceeded budget; abandoned",
+            timeout_s=round(float(timeout), 9),
+            stretch=float(event.stretch),
+        )
+        self.log.append(
+            "recover",
+            t=t0 + total,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="run",
+            action="retried on fallback slot",
+            latency_s=round(float(total), 9),
+        )
+        return total
+
+    def checkpoint_read_seconds(self, base: float) -> float:
+        """Rollback-restore cost: reads stretch like writes, no budget."""
+        return base * self.disk_stretch()
 
     # -- window expiry ---------------------------------------------------------
     def _expire(self, wall: int, report) -> None:
@@ -344,6 +487,36 @@ class FaultInjector:
                     node=node,
                     action="compute speed restored",
                 )
+        still_gray = []
+        for until, event, rng in self._gray:
+            if until <= wall:
+                self.recovered += 1
+                self.log.append(
+                    "recover",
+                    t=t,
+                    kind=event.kind,
+                    fault_id=event.fault_id,
+                    target="run",
+                    action="link health restored",
+                )
+            else:
+                still_gray.append((until, event, rng))
+        self._gray = still_gray
+        still_slow = []
+        for until, stretch, event in self._disk:
+            if until <= wall:
+                self.recovered += 1
+                self.log.append(
+                    "recover",
+                    t=t,
+                    kind=event.kind,
+                    fault_id=event.fault_id,
+                    target="run",
+                    action="disk speed restored",
+                )
+            else:
+                still_slow.append((until, stretch, event))
+        self._disk = still_slow
 
     # -- reporting -------------------------------------------------------------
     def metrics(self) -> dict:
@@ -353,6 +526,7 @@ class FaultInjector:
             "recovered": self.recovered,
             "absorbed": self.absorbed,
             "lost_iterations": self.lost_iterations,
+            "checkpoint_retries": self.checkpoint_retries,
             "mean_detect_recover_s": self.log.mean_latency(),
             "events": len(self.log),
             "digest": self.log.digest(),

@@ -16,8 +16,9 @@ from __future__ import annotations
 import hashlib
 import json
 
-#: The lifecycle phases an entry can record.
-PHASES = ("inject", "detect", "recover", "repair", "absorb")
+#: The lifecycle phases an entry can record.  ``quarantine`` and
+#: ``probe`` are the health ledger's transitions (sched runs only).
+PHASES = ("inject", "detect", "recover", "repair", "absorb", "quarantine", "probe")
 
 
 class FaultLog:

@@ -39,6 +39,9 @@ class FaultEvent:
     stretch: float = 2.0
     fraction: float = 0.5
     node: int | None = None
+    loss_rate: float = 0.05
+    jitter: float = 0.5
+    jitter_dist: str = "exp"
 
     @property
     def until(self) -> float:
@@ -54,6 +57,10 @@ class FaultPlan:
     target: str
     events: tuple[FaultEvent, ...] = ()
     checkpoint_iterations: int = 25
+    checkpoint_timeout: float = 0.0
+    quarantine_threshold: float = 2.0
+    health_half_life: float = 300.0
+    probe_cooldown: float = 180.0
 
     @classmethod
     def from_config(cls, faults, *, seed: int, target: str) -> "FaultPlan":
@@ -91,6 +98,26 @@ class FaultPlan:
                 "faults checkpoint_iterations must be >= 1, "
                 f"got {faults.checkpoint_iterations}"
             )
+        if faults.checkpoint_timeout < 0:
+            raise FaultError(
+                "faults checkpoint_timeout must be >= 0 (0 disables the "
+                f"write budget), got {faults.checkpoint_timeout}"
+            )
+        if faults.quarantine_threshold <= 0:
+            raise FaultError(
+                "faults quarantine_threshold must be > 0, "
+                f"got {faults.quarantine_threshold}"
+            )
+        if faults.health_half_life <= 0:
+            raise FaultError(
+                "faults health_half_life must be > 0, "
+                f"got {faults.health_half_life}"
+            )
+        if faults.probe_cooldown < 0:
+            raise FaultError(
+                "faults probe_cooldown must be >= 0, "
+                f"got {faults.probe_cooldown}"
+            )
         plan_seed = (
             int(faults.seed)
             if faults.seed is not None
@@ -105,6 +132,10 @@ class FaultPlan:
             target=target,
             events=tuple(events),
             checkpoint_iterations=int(faults.checkpoint_iterations),
+            checkpoint_timeout=float(faults.checkpoint_timeout),
+            quarantine_threshold=float(faults.quarantine_threshold),
+            health_half_life=float(faults.health_half_life),
+            probe_cooldown=float(faults.probe_cooldown),
         )
 
     def to_dicts(self) -> list[dict]:
@@ -140,8 +171,11 @@ def _expand(index: int, entry, target: str) -> list[FaultEvent]:
         repeat = int(entry.repeat)
         period = float(entry.period)
         node = None if entry.node is None else int(entry.node)
+        loss_rate = float(entry.loss_rate)
+        jitter = float(entry.jitter)
     except (TypeError, ValueError) as exc:
         raise FaultError(f"{label}: non-numeric parameter: {exc}") from exc
+    jitter_dist = str(entry.jitter_dist)
     if at < 0:
         raise FaultError(f"{label}: at must be >= 0, got {at}")
     if duration < 0:
@@ -165,6 +199,9 @@ def _expand(index: int, entry, target: str) -> list[FaultEvent]:
             stretch=stretch,
             fraction=fraction,
             node=node,
+            loss_rate=loss_rate,
+            jitter=jitter,
+            jitter_dist=jitter_dist,
         )
         try:
             fault.check(event)

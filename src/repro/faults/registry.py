@@ -18,6 +18,8 @@ name                         targets effect
 ``nic-degrade``              both    inter-node bandwidth scaled down for a window
 ``straggler``                both    persistent compute stretch on one node
 ``checkpoint-corrupt``       run     bytes of the newest checkpoint file flipped
+``gray-net``                 both    lossy link: packet loss + stochastic latency jitter
+``disk-slow``                run     fail-slow disk stretching checkpoint writes/loads
 ============================ ======= ==============================================
 
 Registering a new fault is a decorator away::
@@ -218,6 +220,96 @@ class Straggler(Fault):
         driver.add_straggler(event, ctx)
 
 
+#: Distributions gray-net's per-iteration latency jitter can draw from.
+JITTER_DISTS = ("exp", "lognormal")
+
+
+def gray_jitter_draw(event, rng) -> float:
+    """One jitter sample (>= 0) for a gray-net event.
+
+    ``exp`` draws with mean ``event.jitter``; ``lognormal`` has median
+    ``event.jitter`` and a heavier tail — the occasional multi-RTT
+    stall a gray link produces.  The caller supplies the seeded
+    generator, so replay is deterministic.
+    """
+    if event.jitter <= 0:
+        return 0.0
+    if event.jitter_dist == "lognormal":
+        return float(event.jitter * rng.lognormal(0.0, 0.75))
+    return float(event.jitter * rng.exponential(1.0))
+
+
+@register_fault("gray-net", aliases=("gray", "packet-loss"))
+class GrayNet(Fault):
+    """A gray link: alive, but lossy and jittery — not cleanly degraded.
+
+    ``loss_rate`` retransmissions stretch effective bandwidth by
+    ``1 / (1 - loss_rate)`` (via
+    :meth:`repro.cluster.network.NetworkModel.lossy`), and on top of
+    that every iteration in the window draws a *stochastic* latency
+    jitter from ``jitter_dist`` scaled by ``jitter`` — the noisy
+    signature that distinguishes a gray failure from ``nic-degrade``'s
+    clean bandwidth scale.  Scheduler runs pin the window to one node
+    (explicit ``node`` or a seeded pick) and realise one seeded jitter
+    draw for the closed form.
+    """
+
+    instantaneous = False
+    summary = "lossy link: `loss_rate` retransmits + stochastic `jitter` per step"
+
+    @staticmethod
+    def check(event) -> None:
+        if not 0 <= event.loss_rate < 1:
+            raise FaultError(
+                f"gray-net: loss_rate must be in [0, 1), got {event.loss_rate}"
+            )
+        if event.jitter < 0:
+            raise FaultError(
+                f"gray-net: jitter must be >= 0, got {event.jitter}"
+            )
+        if event.jitter_dist not in JITTER_DISTS:
+            raise FaultError(
+                f"gray-net: unknown jitter distribution {event.jitter_dist!r}; "
+                f"accepted: {', '.join(JITTER_DISTS)}"
+            )
+        if event.node is not None and event.node < 0:
+            raise FaultError(f"gray-net: node must be >= 0, got {event.node}")
+
+    def apply_run(self, injector, event, ctx) -> None:
+        injector.gray_net(event, ctx)
+
+    def apply_sched(self, driver, event, ctx) -> None:
+        driver.gray_net(event, ctx)
+
+
+@register_fault("disk-slow", aliases=("slow-disk", "fail-slow"))
+class DiskSlow(Fault):
+    """A fail-slow checkpoint disk: writes and loads stretch ``stretch``x.
+
+    While the window is open every checkpoint write (and rollback read)
+    costs ``stretch`` times its healthy latency; with a
+    ``faults.checkpoint_timeout`` budget set, a write that would exceed
+    it is abandoned at the budget and retried on the fallback slot —
+    both steps land in the :class:`~repro.faults.log.FaultLog`.
+    Elastic runs only: the scheduler's closed form has no checkpoint
+    writes to slow down.
+    """
+
+    targets = frozenset({"run"})
+    instantaneous = False
+    summary = "fail-slow disk: checkpoint writes/loads stretched `stretch`x"
+
+    @staticmethod
+    def check(event) -> None:
+        if event.stretch <= 1:
+            raise FaultError(
+                f"disk-slow: stretch must be > 1, got {event.stretch}"
+            )
+
+    def apply_run(self, injector, event, ctx) -> None:
+        injector.slow_disk(event, ctx)
+
+
 @register_fault("checkpoint-corrupt", aliases=("ckpt-corrupt",))
 class CheckpointCorrupt(Fault):
     """Flip bytes in the newest on-disk checkpoint.
@@ -240,6 +332,8 @@ class CheckpointCorrupt(Fault):
 __all__ = [
     "FAULTS",
     "FAULT_TARGETS",
+    "JITTER_DISTS",
+    "gray_jitter_draw",
     "Fault",
     "FaultError",
     "register_fault",
@@ -248,4 +342,6 @@ __all__ = [
     "NicDegrade",
     "Straggler",
     "CheckpointCorrupt",
+    "GrayNet",
+    "DiskSlow",
 ]

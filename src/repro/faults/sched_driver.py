@@ -24,9 +24,10 @@ import math
 from collections import deque
 from dataclasses import dataclass
 
+from repro.faults.health import HealthPolicy, NodeHealthLedger
 from repro.faults.log import FaultLog
 from repro.faults.plan import FaultPlan
-from repro.faults.registry import FAULTS
+from repro.faults.registry import FAULTS, gray_jitter_draw
 from repro.utils.seeding import new_rng
 
 
@@ -58,8 +59,20 @@ class SchedFaultDriver:
         self._down: dict[int, tuple[float, object]] = {}
         self._nic: list[tuple[float, float, object]] = []
         self._stragglers: dict[int, tuple[float, float, object]] = {}
+        #: node -> (window end, realised comm stretch, event) gray links.
+        self._gray: dict[int, tuple[float, float, object]] = {}
         #: job name -> (event, t_detect) for requeued jobs awaiting re-placement.
         self._awaiting_replace: dict[str, tuple[object, float]] = {}
+        #: Per-node suspicion scores the fault-aware policy reads; its
+        #: timeline depends only on the plan, never on placement, so it
+        #: is identical under every policy compared against one storm.
+        self.health = NodeHealthLedger(
+            HealthPolicy(
+                quarantine_threshold=plan.quarantine_threshold,
+                half_life_s=plan.health_half_life,
+                probe_cooldown_s=plan.probe_cooldown,
+            )
+        )
         self.injected = 0
         self.recovered = 0
         self.absorbed = 0
@@ -77,12 +90,30 @@ class SchedFaultDriver:
         times.extend(
             until for until, _, _ in self._stragglers.values() if not math.isinf(until)
         )
+        times.extend(
+            until for until, _, _ in self._gray.values() if not math.isinf(until)
+        )
+        probe_at = self.health.next_boundary(now)
+        if probe_at is not None:
+            times.append(probe_at)
         future = [t for t in times if t > now + 1e-12]
         return min(future) if future else None
 
     def apply_due(self, ctx: SchedContext) -> None:
-        """Repair, expire, and inject everything due at ``ctx.now``."""
+        """Probe, repair, expire, and inject everything due at ``ctx.now``."""
         now = ctx.now
+        for node in self.health.due_probes(now):
+            score = self.health.probe(node, now)
+            self.log.append(
+                "probe",
+                t=now,
+                kind="health",
+                fault_id=-1,
+                target="sched",
+                node=node,
+                suspicion=round(score, 9),
+                action="cool-down elapsed; node returned to candidate pool",
+            )
         for node in sorted(self._down):
             repair_at, event = self._down[node]
             if repair_at <= now + 1e-12:
@@ -124,6 +155,20 @@ class SchedFaultDriver:
                     target="sched",
                     node=node,
                     action="compute speed restored",
+                )
+        for node in sorted(self._gray):
+            until, _, event = self._gray[node]
+            if until <= now + 1e-12:
+                del self._gray[node]
+                self.recovered += 1
+                self.log.append(
+                    "recover",
+                    t=now,
+                    kind=event.kind,
+                    fault_id=event.fault_id,
+                    target="sched",
+                    node=node,
+                    action="link health restored",
                 )
         while self._pending and self._pending[0].at <= now + 1e-12:
             event = self._pending.popleft()
@@ -217,6 +262,8 @@ class SchedFaultDriver:
             victims=victims,
             jobs=sorted(affected),
         )
+        for node in victims:
+            self._observe_health(event, now, node)
         # An unwarned crash kills the synchronous step: every affected
         # job rolls back to its last implied checkpoint.
         scheduler = ctx.scheduler
@@ -325,6 +372,72 @@ class SchedFaultDriver:
             target="sched",
             source="per-event straggler repricing",
         )
+        self._observe_health(event, now, node)
+
+    def gray_net(self, event, ctx: SchedContext) -> None:
+        """Pin a gray-link window — loss + realised jitter — on one node.
+
+        The closed-form scheduler cannot redraw jitter per iteration, so
+        one seeded draw realises the window's expected stretch:
+        ``1 / (1 - loss_rate)`` retransmissions times ``1 + jitter``.
+        """
+        now = ctx.now
+        self.injected += 1
+        if event.node is not None:
+            node = int(event.node)
+        else:
+            picked = self.pick_up_nodes(ctx, 1)
+            node = picked[0] if picked else -1
+        if node < 0 or node >= ctx.state.num_nodes or not ctx.state.is_up(node):
+            self.absorbed += 1
+            self.log.append(
+                "absorb",
+                t=now,
+                kind=event.kind,
+                fault_id=event.fault_id,
+                target="sched",
+                reason=f"node {node} not up",
+            )
+            return
+        stretch = (1.0 / (1.0 - event.loss_rate)) * (
+            1.0 + gray_jitter_draw(event, self.rng)
+        )
+        self._gray[node] = (event.until, stretch, event)
+        self.log.append(
+            "inject",
+            t=now,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="sched",
+            node=node,
+            loss_rate=float(event.loss_rate),
+            jitter=float(event.jitter),
+            jitter_dist=event.jitter_dist,
+            stretch=round(stretch, 9),
+        )
+        self.log.append(
+            "detect",
+            t=now,
+            kind=event.kind,
+            fault_id=event.fault_id,
+            target="sched",
+            source="per-link loss/latency telemetry",
+        )
+        self._observe_health(event, now, node)
+
+    def _observe_health(self, event, now: float, node: int) -> None:
+        """Feed one fault observation to the ledger; log new quarantines."""
+        if self.health.observe(node, now, event.kind):
+            self.log.append(
+                "quarantine",
+                t=now,
+                kind=event.kind,
+                fault_id=event.fault_id,
+                target="sched",
+                node=node,
+                suspicion=round(self.health.suspicion(node, now), 9),
+                probe_at=round(now + self.health.policy.probe_cooldown_s, 9),
+            )
 
     # -- pricing inputs --------------------------------------------------------
     def active_nic_scale(self) -> float:
@@ -344,6 +457,22 @@ class SchedFaultDriver:
                 stretch = max(stretch, record[1])
         return stretch
 
+    def jitter_for(self, nodes) -> float:
+        """Worst gray-link comm stretch across an allocation (>= 1).
+
+        Synchronous collectives cross every member's NIC, so one gray
+        node jitters the whole job — rounded so the scheduler's memo
+        key stays platform-stable.
+        """
+        if not self._gray:
+            return 1.0
+        jitter = 1.0
+        for node in nodes:
+            record = self._gray.get(node)
+            if record is not None:
+                jitter = max(jitter, record[1])
+        return round(jitter, 9)
+
     # -- reporting -------------------------------------------------------------
     def summary(self) -> dict:
         """Counters + log digest + the full entry list, JSON/pickle-safe."""
@@ -354,6 +483,7 @@ class SchedFaultDriver:
             "requeues": self.requeues,
             "lost_iterations": round(self.lost_iterations, 6),
             "nodes_down_end": sorted(self._down),
+            "health": self.health.summary(),
             "mean_detect_recover_s": self.log.mean_latency(),
             "events": len(self.log),
             "digest": self.log.digest(),

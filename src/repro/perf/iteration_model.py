@@ -108,6 +108,12 @@ class IterationModel:
         straggler on any node stretches every iteration.  Used by the
         fault subsystem (:mod:`repro.faults`); ``1.0`` is a healthy
         cluster.
+    comm_jitter:
+        Gray-failure factor (>= 1) multiplying the *visible*
+        communication term: a lossy, jittery link stretches every
+        collective beyond what its (clean) bandwidth predicts.  The
+        fault subsystem passes the realised per-window jitter here;
+        ``1.0`` is a healthy link.
     """
 
     network: NetworkModel
@@ -123,6 +129,7 @@ class IterationModel:
     cal: Calibration = CALIBRATION
     contention: float = 1.0
     compute_stretch: float = 1.0
+    comm_jitter: float = 1.0
 
     def __post_init__(self) -> None:
         if self.local_batch < 1:
@@ -132,6 +139,10 @@ class IterationModel:
         if self.compute_stretch < 1:
             raise ValueError(
                 f"compute_stretch must be >= 1, got {self.compute_stretch}"
+            )
+        if self.comm_jitter < 1:
+            raise ValueError(
+                f"comm_jitter must be >= 1, got {self.comm_jitter}"
             )
         if isinstance(self.scheme, str):
             self.scheme = SchemeKind(self.scheme)
@@ -230,7 +241,7 @@ class IterationModel:
                 "io": self.t_io(),
                 "ff_bp": self.t_ffbp(),
                 "compression": compression,
-                "communication": self.t_communication_visible(comm_raw),
+                "communication": self.comm_jitter * self.t_communication_visible(comm_raw),
                 "lars": self.t_lars(),
                 "sync": self.cal.sync_overhead,
             }

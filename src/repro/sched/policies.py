@@ -30,6 +30,10 @@ Built-ins:
   emptiest-first.  Comm-heavy jobs land next to compute-heavy ones, the
   bandwidth-sharing penalty both pay shrinks — the placement lesson of
   running 25 Gbps clouds at multi-tenant occupancy.
+* ``fault-aware`` — read the fault driver's node-health ledger: avoid
+  quarantined and suspect nodes, spread across AZ blocks, and keep
+  deadline/priority jobs on the cleanest hardware.  Fault-blind
+  without a fault plan (degenerates to ``spread``).
 """
 
 from __future__ import annotations
@@ -81,6 +85,12 @@ class ClusterState:
         #: Nodes taken out of service by a fault (crash/reclaim); they
         #: hold no jobs and accept no placements until repaired.
         self._down: set[int] = set()
+        #: Health ledger published by the fault driver (None without a
+        #: fault plan) and the current virtual time — read exclusively
+        #: by the ``fault-aware`` policy; the fault-free paths never
+        #: touch either.
+        self.health = None
+        self.now = 0.0
 
     # -- queries --------------------------------------------------------------
     def free_gpus(self, node: int) -> int:
@@ -212,6 +222,67 @@ def _network_aware(
             n,
         ),
     )
+
+
+@register_policy("fault-aware", aliases=("health-aware",))
+def _fault_aware(
+    job: JobSpec, candidates: Sequence[int], state: ClusterState
+) -> list[int]:
+    """Steer work away from unhealthy hardware using the health ledger.
+
+    Three signals, in order:
+
+    1. **Quarantined nodes last.**  A repeat offender sits at the very
+       back of the ordering until its probe clears it — still a valid
+       candidate (the policy stays a pure permutation, so a saturated
+       cluster can fall back to it), but only when nothing cleaner fits.
+    2. **Suspicion.**  Deadline/priority jobs sort candidates by exact
+       decayed suspicion (cleanest node first); best-effort jobs only
+       dodge *heavily* suspect nodes (>= half the quarantine threshold)
+       and otherwise keep spread's capacity ordering — mildly flaky
+       hardware is fine for work nobody is waiting on.
+    3. **AZ-block spreading.**  Candidates are interleaved round-robin
+       across contiguous node blocks (the same blocks an ``az-reclaim``
+       takes out), so a k-node job spans up to k blocks and one reclaim
+       cannot erase the whole allocation.
+
+    Without a fault plan there is no ledger (``state.health`` is None)
+    and the policy degenerates to ``spread``.
+    """
+    ledger = state.health
+    if ledger is None:
+        return _spread(job, candidates, state)
+    now = state.now
+    threshold = ledger.policy.quarantine_threshold
+    critical = job.priority > 0 or job.deadline_seconds is not None
+
+    def key(n: int):
+        suspicion = round(ledger.suspicion(n, now), 9)
+        if not critical:
+            suspicion = 1 if suspicion >= threshold / 2 else 0
+        return (suspicion, state.tenants(n), -state.free_gpus(n), n)
+
+    pool = [n for n in candidates if not ledger.is_quarantined(n)]
+    avoid = sorted((n for n in candidates if ledger.is_quarantined(n)), key=key)
+    # Interleave across AZ blocks: round r holds every block's r-th
+    # choice, each round ordered cleanest-first.
+    block = max(1, (state.num_nodes + 3) // 4)
+    by_block: dict[int, list[int]] = {}
+    for n in sorted(pool):
+        by_block.setdefault(n // block, []).append(n)
+    for members in by_block.values():
+        members.sort(key=key)
+    ordered: list[int] = []
+    depth = 0
+    while len(ordered) < len(pool):
+        heads = [
+            (key(members[depth]), members[depth])
+            for members in by_block.values()
+            if depth < len(members)
+        ]
+        ordered.extend(n for _, n in sorted(heads))
+        depth += 1
+    return ordered + avoid
 
 
 __all__ = [

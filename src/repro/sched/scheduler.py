@@ -323,6 +323,7 @@ class MultiTenantScheduler:
         nodes: int,
         contention: float,
         stretch: float = 1.0,
+        jitter: float = 1.0,
     ) -> IterationModel:
         from repro.api.registry import build_cluster
 
@@ -339,6 +340,7 @@ class MultiTenantScheduler:
             density=spec.density,
             contention=contention,
             compute_stretch=stretch,
+            comm_jitter=jitter,
         )
 
     def _workload_key(self, spec: JobSpec) -> tuple:
@@ -355,24 +357,27 @@ class MultiTenantScheduler:
         contention: float = 1.0,
         nic_scale: float = 1.0,
         stretch: float = 1.0,
+        jitter: float = 1.0,
     ) -> float:
         """Per-iteration virtual seconds at an allocation + tenant count.
 
         ``nic_scale`` (an active NIC degradation, <= 1) divides the
         inter-node bandwidth on top of contention; ``stretch`` (an
-        active straggler, >= 1) multiplies the FF&BP term.  Pure in
-        ``(workload key, nodes, contention, nic_scale, stretch)``, so
-        results are memoized per :meth:`run` — the event loop re-prices
-        every running job at every event and would otherwise rebuild
+        active straggler, >= 1) multiplies the FF&BP term; ``jitter``
+        (a realised gray-link stretch, >= 1) multiplies the visible
+        communication term.  Pure in ``(workload key, nodes,
+        contention, nic_scale, stretch, jitter)``, so results are
+        memoized per :meth:`run` — the event loop re-prices every
+        running job at every event and would otherwise rebuild
         identical models millions of times on a trace-scale queue.
         """
-        key = (self._workload_key(spec), nodes, contention, nic_scale, stretch)
+        key = (self._workload_key(spec), nodes, contention, nic_scale, stretch, jitter)
         cached = self._time_cache.get(key)
         if cached is None:
             # A link at `nic_scale` bandwidth prices exactly like one
             # split across 1/nic_scale extra tenants.
             cached = self._iteration_model(
-                spec, nodes, contention / nic_scale, stretch
+                spec, nodes, contention / nic_scale, stretch, jitter
             ).iteration_time()
             self._time_cache[key] = cached
         return cached
@@ -628,6 +633,9 @@ class MultiTenantScheduler:
             # A fresh driver per run: one plan replays identically under
             # every policy.
             driver = SchedFaultDriver(self.faults)
+            # Publish the health ledger for the fault-aware policy;
+            # fault-free runs leave state.health as None.
+            state.health = driver.health
         records = {job.name: JobRecord(spec=job) for job in jobs}
         pending = sorted(
             records.values(),
@@ -653,6 +661,7 @@ class MultiTenantScheduler:
                 queued.add(record, self._job_gpus(record.spec))
                 arrived += 1
             if driver is not None:
+                state.now = now
                 ctx = SchedContext(
                     scheduler=self, now=now, state=state, queued=queued,
                     running=running,
@@ -693,18 +702,25 @@ class MultiTenantScheduler:
                     if driver is not None
                     else 1.0
                 )
+                jitter = (
+                    driver.jitter_for(record.nodes)
+                    if driver is not None
+                    else 1.0
+                )
                 busy = self.iteration_seconds(
                     record.spec,
                     nodes=len(record.nodes),
                     contention=contention,
                     nic_scale=nic_scale,
                     stretch=stretch,
+                    jitter=jitter,
                 )
                 # The slowdown baseline stays fault-free: the solo rate
                 # is the ideal this job is judged against.
                 solo = (
                     busy
                     if contention <= 1 and nic_scale >= 1 and stretch <= 1
+                    and jitter <= 1
                     else self.iteration_seconds(
                         record.spec, nodes=len(record.nodes), contention=1.0
                     )

@@ -17,6 +17,7 @@ from repro.faults.registry import FAULTS
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 DRILL_CONFIG = REPO / "examples" / "configs" / "fault_drill.json"
+GRAY_STORM_CONFIG = REPO / "examples" / "configs" / "gray_storm.json"
 SMOKE_CONFIG = REPO / "examples" / "configs" / "smoke.json"
 
 
@@ -26,7 +27,16 @@ class TestDiscovery:
         out = capsys.readouterr().out
         for name in FAULTS.available():
             assert name in out
+        # This PR's additions, by name (the loop above only proves the
+        # registry and the listing agree).
+        assert "gray-net" in out and "disk-slow" in out
         assert "aliases:" in out  # e.g. crash, spot-storm
+
+    def test_list_policies_includes_fault_aware(self, capsys):
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-aware" in out
+        assert "health-aware" in out  # its alias
 
     def test_list_all_includes_faults_group(self, capsys):
         assert main(["list"]) == 0
@@ -39,10 +49,15 @@ class TestDrillRun:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema_version"] == 1
         faults = payload["meta"]["faults"]
-        assert faults["summary"]["injected"] == 5
-        assert faults["summary"]["recovered"] == 5
+        assert faults["summary"]["injected"] == 7
+        assert faults["summary"]["recovered"] == 7
+        # The fail-slow disk window covers two checkpoint writes, both of
+        # which blow the 4 s budget and retry on the fallback slot.
+        assert faults["summary"]["checkpoint_retries"] == 2
         phases = {entry["phase"] for entry in faults["entries"]}
         assert {"inject", "detect", "recover"} <= phases
+        kinds = {entry["kind"] for entry in faults["entries"]}
+        assert {"gray-net", "disk-slow"} <= kinds
 
     def test_override_adds_faults_to_plain_config(self, capsys):
         # A config with no faults section grows one entirely from --set:
@@ -60,8 +75,8 @@ class TestDrillRun:
         # Dotted list indices reach into the plan; aliases canonicalise.
         assert main([
             "run", "--config", str(DRILL_CONFIG),
-            "--set", "faults.events.2.kind=crash",
-            "--set", "faults.events.2.node=1",
+            "--set", "faults.events.4.kind=crash",
+            "--set", "faults.events.4.node=1",
         ]) == 0
         assert "fault_recoveries" in capsys.readouterr().out
 
@@ -88,6 +103,25 @@ class TestJobsWidthInvariance:
         digests = json.loads(outputs[0])["meta"]["faults"]["summary"]["digest"]
         assert len(digests) == 16
 
+    def test_gray_storm_sched_bit_identical_across_jobs(self):
+        """The committed gray storm: serial vs 4-worker pool, byte for byte."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        outputs = []
+        for jobs in ("1", "4"):
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "sched",
+                    "--config", str(GRAY_STORM_CONFIG), "--jobs", jobs, "--json",
+                ],
+                capture_output=True, text=True, timeout=300, env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
 
 class TestFailureModes:
     def test_unknown_fault_name(self, capsys):
@@ -105,6 +139,39 @@ class TestFailureModes:
             "--set", "faults.events.0.scale=2.0",
         ]) == 2
         assert "scale must be in" in capsys.readouterr().err
+
+    def test_unknown_jitter_distribution(self, capsys):
+        assert main([
+            "run", "--config", str(DRILL_CONFIG),
+            "--set", "faults.events.3.jitter_dist=weird",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown jitter distribution" in err
+        assert "exp" in err and "lognormal" in err  # accepted values listed
+
+    def test_out_of_range_loss_rate(self, capsys):
+        assert main([
+            "run", "--config", str(DRILL_CONFIG),
+            "--set", "faults.events.3.loss_rate=1.0",
+        ]) == 2
+        assert "loss_rate must be in [0, 1)" in capsys.readouterr().err
+
+    def test_negative_quarantine_threshold(self, capsys):
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "faults.quarantine_threshold=-1",
+        ]) == 2
+        assert "quarantine_threshold must be > 0" in capsys.readouterr().err
+
+    def test_disk_slow_cannot_target_sched(self, capsys):
+        # "disk-slow without checkpointing": the scheduler's closed form
+        # has no checkpoint writes, so the kind is rejected at load time.
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "faults.events.0.kind=disk-slow",
+            "--set", "faults.events.0.stretch=4.0",
+        ]) == 2
+        assert "cannot target" in capsys.readouterr().err
 
     def test_faults_require_elastic_section(self, capsys):
         assert main([
@@ -147,7 +214,16 @@ class TestFailureModes:
             ["run", "--config", str(DRILL_CONFIG),
              "--set", "faults.events.0.kind=bogus"],
             ["run", "--config", str(DRILL_CONFIG),
-             "--set", "faults.events.4.fraction=7"],
+             "--set", "faults.events.6.fraction=7"],
+            ["run", "--config", str(DRILL_CONFIG),
+             "--set", "faults.events.3.jitter_dist=weird"],
+            ["run", "--config", str(DRILL_CONFIG),
+             "--set", "faults.events.3.loss_rate=-0.5"],
+            ["sched", "--config", str(GRAY_STORM_CONFIG),
+             "--set", "faults.quarantine_threshold=-1"],
+            ["sched", "--config", str(GRAY_STORM_CONFIG),
+             "--set", "faults.events.0.kind=disk-slow",
+             "--set", "faults.events.0.stretch=4.0"],
             ["run", "--config", str(config)],
             ["sched", "--config", str(REPO / "examples" / "configs" / "multi_tenant.json"),
              "--set", "faults.events.0.kind=checkpoint-corrupt",

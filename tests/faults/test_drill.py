@@ -1,30 +1,44 @@
 """End-to-end fault drills through the facade: recovery + determinism.
 
-The ISSUE acceptance bar lives here: a seeded fault-storm drill (five
-composed fault kinds, including the unwarned crash and the AZ-wide
-reclaim) completes with recovery on every registered scheme, and the
-event log + BENCH payload are byte-identical across repeat runs and
-``--jobs`` widths.
+The ISSUE acceptance bar lives here: a seeded fault-storm drill (seven
+composed fault kinds, including the unwarned crash, the fail-slow disk,
+the gray link, and the AZ-wide reclaim) completes with recovery on
+every registered scheme; the gray-failure policy drill shows
+``fault-aware`` beating every fault-blind baseline on goodput under the
+storm; and the event log + BENCH payload are byte-identical across
+repeat runs and ``--jobs`` widths.
 """
 
 import json
+import pathlib
 
 import pytest
 
-from repro.api.config import RunConfig
+from repro.api.config import RunConfig, SchedConfig
 from repro.api.facade import run
 from repro.api.registry import SCHEMES
 from repro.faults.drill import (
     DRILL_COLUMNS,
+    GRAY_STORM_EVENTS,
+    GRAY_STORM_HEALTH,
+    POLICY_DRILL_COLUMNS,
+    POLICY_DRILL_POLICIES,
     STORM_EVENTS,
     drill_config,
     drills_payload,
+    gray_storm_config,
     run_drills,
+    run_policy_drills,
 )
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 
 
 def _config(events, *, num_nodes=4, min_nodes=1, iterations=40,
-            checkpoint_every=10, seed=7):
+            checkpoint_every=10, seed=7, checkpoint_timeout=None):
+    faults = {"events": events}
+    if checkpoint_timeout is not None:
+        faults["checkpoint_timeout"] = checkpoint_timeout
     return RunConfig.from_dict(
         {
             "name": "fault-unit",
@@ -42,7 +56,7 @@ def _config(events, *, num_nodes=4, min_nodes=1, iterations=40,
                 "checkpoint_every": checkpoint_every,
                 "min_nodes": min_nodes,
             },
-            "faults": {"events": events},
+            "faults": faults,
         }
     )
 
@@ -181,6 +195,137 @@ class TestInjectionEdgeCases:
         )
         assert slowed.elastic_run.total_seconds > base.elastic_run.total_seconds
         assert slowed.elastic_run.useful_iterations == base.elastic_run.useful_iterations
+
+    def test_gray_net_slows_run_and_logs_link_detail(self):
+        base = run(_config([], seed=3))
+        gray = run(
+            _config(
+                [{"kind": "gray-net", "at": 10, "duration": 20,
+                  "loss_rate": 0.1, "jitter": 0.5}],
+                seed=3,
+            )
+        )
+        assert gray.elastic_run.total_seconds > base.elastic_run.total_seconds
+        assert gray.elastic_run.useful_iterations == base.elastic_run.useful_iterations
+        (inject,) = _phases(gray, "inject")
+        assert inject["detail"]["loss_rate"] == 0.1
+        assert inject["detail"]["jitter"] == 0.5
+        (recover,) = _phases(gray, "recover")
+        assert recover["detail"]["action"] == "link health restored"
+
+    def test_gray_net_digest_differs_from_nic_degrade(self):
+        # Same window, both slow communication — but they are distinct
+        # fault kinds with distinct log streams, not aliases.
+        gray = run(
+            _config(
+                [{"kind": "gray-net", "at": 10, "duration": 20,
+                  "loss_rate": 0.3, "jitter": 0.0}],
+                seed=3,
+            )
+        )
+        nic = run(
+            _config(
+                [{"kind": "nic-degrade", "at": 10, "duration": 20, "scale": 0.7}],
+                seed=3,
+            )
+        )
+        assert gray.faults["summary"]["digest"] != nic.faults["summary"]["digest"]
+
+    def test_disk_slow_stretches_checkpoint_writes(self):
+        base = run(_config([], seed=3))
+        slow = run(
+            _config(
+                [{"kind": "disk-slow", "at": 5, "duration": 30, "stretch": 4.0}],
+                seed=3,
+            )
+        )
+        # No budget configured: the writes just take stretch times longer.
+        assert slow.elastic_run.total_seconds > base.elastic_run.total_seconds
+        assert slow.faults["summary"]["checkpoint_retries"] == 0
+        (recover,) = _phases(slow, "recover")
+        assert recover["detail"]["action"] == "disk speed restored"
+
+    def test_disk_slow_with_budget_abandons_and_retries(self):
+        report = run(
+            _config(
+                [{"kind": "disk-slow", "at": 5, "duration": 30, "stretch": 6.0}],
+                seed=3,
+                checkpoint_timeout=4.0,
+            )
+        )
+        summary = report.faults["summary"]
+        assert summary["checkpoint_retries"] >= 1
+        actions = [
+            e["detail"].get("action")
+            for e in report.faults["entries"]
+            if e["kind"] == "disk-slow"
+        ]
+        assert "checkpoint write exceeded budget; abandoned" in actions
+        assert "retried on fallback slot" in actions
+
+
+class TestPolicyDrill:
+    """The tentpole scorecard: fault-aware vs the fault-blind built-ins."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_policy_drills(seed=7)
+
+    def test_covers_all_four_policies(self, results):
+        assert [r["policy"] for r in results] == list(POLICY_DRILL_POLICIES)
+        for result in results:
+            assert set(POLICY_DRILL_COLUMNS) <= set(result)
+
+    def test_fault_aware_beats_every_fault_blind_baseline(self, results):
+        by_policy = {r["policy"]: r for r in results}
+        aware = by_policy["fault-aware"]
+        for blind in ("bin-pack", "spread", "network-aware"):
+            assert aware["storm_goodput"] > by_policy[blind]["storm_goodput"], blind
+            assert aware["goodput_ratio"] > by_policy[blind]["goodput_ratio"], blind
+            assert aware["usd_per_kiter"] < by_policy[blind]["usd_per_kiter"], blind
+
+    def test_storm_quarantines_the_repeat_offender(self, results):
+        expanded = sum(e.get("repeat", 1) for e in GRAY_STORM_EVENTS)
+        for result in results:
+            assert result["injected"] == expanded
+            # The ledger timeline is policy-independent: every policy
+            # sees the same flap train and the same quarantine.
+            assert result["quarantines"] == 1
+
+    def test_repeat_runs_identical(self, results):
+        again = run_policy_drills(seed=7)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            results, sort_keys=True
+        )
+
+    def test_payload_embeds_policy_drill(self):
+        payload = drills_payload(schemes=["mstopk"])
+        drill = payload["meta"]["policy_drill"]
+        assert drill["columns"] == list(POLICY_DRILL_COLUMNS)
+        assert len(drill["rows"]) == len(POLICY_DRILL_POLICIES)
+        assert set(drill["digests"]) == set(POLICY_DRILL_POLICIES)
+
+
+class TestCommittedGrayStormConfig:
+    def test_example_config_matches_generator(self):
+        # examples/configs/gray_storm.json is the CLI twin of
+        # gray_storm_config(storm=True): drift in either direction breaks
+        # the docs walkthrough and the CI smoke gate.
+        on_disk = SchedConfig.from_dict(
+            json.loads((REPO / "examples" / "configs" / "gray_storm.json").read_text())
+        )
+        assert on_disk == gray_storm_config(storm=True)
+
+    def test_storm_health_knobs_round_trip(self):
+        config = gray_storm_config(storm=True)
+        assert config.faults.quarantine_threshold == (
+            GRAY_STORM_HEALTH["quarantine_threshold"]
+        )
+        assert config.faults.health_half_life == GRAY_STORM_HEALTH["health_half_life"]
+        assert config.faults.probe_cooldown == GRAY_STORM_HEALTH["probe_cooldown"]
+
+    def test_baseline_variant_has_no_faults(self):
+        assert gray_storm_config(storm=False).faults is None
 
 
 @pytest.mark.parametrize("jobs", [2])

@@ -29,7 +29,10 @@ class TestAppend:
             FaultLog().append("explode", t=0, kind="x", fault_id=0, target="run")
 
     def test_phases_cover_lifecycle(self):
-        assert PHASES == ("inject", "detect", "recover", "repair", "absorb")
+        assert PHASES == (
+            "inject", "detect", "recover", "repair", "absorb",
+            "quarantine", "probe",
+        )
 
     def test_numpy_scalars_coerced(self):
         log = FaultLog()

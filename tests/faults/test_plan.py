@@ -15,6 +15,8 @@ class TestRegistry:
         assert FAULTS.available() == [
             "az-reclaim",
             "checkpoint-corrupt",
+            "disk-slow",
+            "gray-net",
             "nic-degrade",
             "node-crash",
             "straggler",
@@ -29,6 +31,10 @@ class TestRegistry:
             ("nic-flap", "nic-degrade"),
             ("slow-node", "straggler"),
             ("ckpt-corrupt", "checkpoint-corrupt"),
+            ("gray", "gray-net"),
+            ("packet-loss", "gray-net"),
+            ("slow-disk", "disk-slow"),
+            ("fail-slow", "disk-slow"),
         ):
             assert FAULTS.canonical(alias) == canonical
 
@@ -45,6 +51,11 @@ class TestRegistry:
 
     def test_checkpoint_corrupt_is_run_only(self):
         assert FAULTS.get("checkpoint-corrupt")().targets == {"run"}
+
+    def test_disk_slow_is_run_only(self):
+        # The scheduler's closed form has no checkpoint writes to slow
+        # down, so "disk-slow without checkpointing" is a load-time error.
+        assert FAULTS.get("disk-slow")().targets == {"run"}
 
     def test_base_class_rejects_unimplemented_surfaces(self):
         event = FaultEvent(fault_id=0, kind="custom", at=1.0)
@@ -119,6 +130,14 @@ class TestPlanResolution:
             (FaultConfig(kind="nic-degrade", at=1, scale=1.5), "scale must be in"),
             (FaultConfig(kind="straggler", at=1, stretch=0.5), "stretch must be > 1"),
             (FaultConfig(kind="az-reclaim", at=1, fraction=0.0), "fraction must be in"),
+            (FaultConfig(kind="gray-net", at=1, loss_rate=1.0),
+             r"loss_rate must be in \[0, 1\)"),
+            (FaultConfig(kind="gray-net", at=1, loss_rate=-0.1),
+             r"loss_rate must be in \[0, 1\)"),
+            (FaultConfig(kind="gray-net", at=1, jitter=-0.5), "jitter must be >= 0"),
+            (FaultConfig(kind="gray-net", at=1, jitter_dist="weird"),
+             "unknown jitter distribution"),
+            (FaultConfig(kind="disk-slow", at=1, stretch=1.0), "stretch must be > 1"),
         ],
     )
     def test_parameter_validation(self, entry, message):
@@ -130,6 +149,34 @@ class TestPlanResolution:
         faults = FaultsConfig(checkpoint_iterations=0)
         with pytest.raises(FaultError, match="checkpoint_iterations"):
             FaultPlan.from_config(faults, seed=1, target="sched")
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"checkpoint_timeout": -1.0}, "checkpoint_timeout must be >= 0"),
+            ({"quarantine_threshold": -1.0}, "quarantine_threshold must be > 0"),
+            ({"quarantine_threshold": 0.0}, "quarantine_threshold must be > 0"),
+            ({"health_half_life": 0.0}, "health_half_life must be > 0"),
+            ({"probe_cooldown": -5.0}, "probe_cooldown must be >= 0"),
+        ],
+    )
+    def test_health_knob_validation(self, kwargs, message):
+        faults = FaultsConfig(**kwargs)
+        with pytest.raises(FaultError, match=message):
+            FaultPlan.from_config(faults, seed=1, target="sched")
+
+    def test_health_knobs_reach_plan(self):
+        faults = FaultsConfig(
+            checkpoint_timeout=4.0,
+            quarantine_threshold=1.5,
+            health_half_life=120.0,
+            probe_cooldown=60.0,
+        )
+        plan = FaultPlan.from_config(faults, seed=1, target="sched")
+        assert plan.checkpoint_timeout == 4.0
+        assert plan.quarantine_threshold == 1.5
+        assert plan.health_half_life == 120.0
+        assert plan.probe_cooldown == 60.0
 
 
 class TestPlanFiles:

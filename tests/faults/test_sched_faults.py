@@ -147,12 +147,117 @@ class TestPerformanceFaults:
         ))["bin-pack"]
         assert slowed.makespan_s > base.makespan_s
 
+    def test_gray_net_inject_logs_link_telemetry(self):
+        report = run_sched(_sched_config(
+            [FaultConfig(kind="gray-net", at=10, duration=100, node=1,
+                         loss_rate=0.1, jitter=0.5)]
+        ))["bin-pack"]
+        (inject,) = _entries(report, "inject", "gray-net")
+        detail = inject["detail"]
+        assert detail["node"] == 1
+        assert detail["loss_rate"] == 0.1
+        assert detail["jitter"] == 0.5
+        assert detail["jitter_dist"] == "exp"
+        # Realised stretch: >= the pure retransmission floor 1/(1-loss).
+        assert detail["stretch"] >= 1.0 / (1.0 - 0.1) - 1e-9
+        (detect,) = _entries(report, "detect", "gray-net")
+        assert detect["detail"]["source"] == "per-link loss/latency telemetry"
+
+    def test_gray_net_stretches_makespan_and_recovers(self):
+        base = run_sched(_sched_config([]))["bin-pack"]
+        gray = run_sched(_sched_config(
+            [FaultConfig(kind="gray-net", at=10, duration=25, node=0,
+                         loss_rate=0.2, jitter=0.5)]
+        ))["bin-pack"]
+        assert gray.makespan_s > base.makespan_s
+        assert gray.summary()["jobs_done"] == base.summary()["jobs_done"]
+        (recover,) = _entries(gray, "recover", "gray-net")
+        assert recover["detail"]["action"] == "link health restored"
+
     def test_no_faults_attribute_means_no_fault_log(self):
         config = dataclasses.replace(_sched_config([]), faults=None)
         report = run_sched(config)["bin-pack"]
         assert report.fault_log is None
         payload = payload_for_reports([report])
         assert "faults" not in payload["meta"]
+
+
+def _flap_train_config(policies=("bin-pack",)):
+    """A crash flap train that quarantines node 0, then probes it back."""
+    config = _sched_config(
+        [FaultConfig(kind="node-crash", at=10, duration=15, node=0,
+                     repeat=3, period=30)],
+        policies=policies,
+        jobs=[
+            JobConfig(
+                name="prod",
+                profile="resnet50",
+                scheme="mstopk",
+                density=0.01,
+                iterations=600,  # long enough to outlive the probe at ~100 s
+                min_nodes=1,
+                max_nodes=3,
+            ),
+        ],
+    )
+    return dataclasses.replace(
+        config,
+        faults=dataclasses.replace(
+            config.faults,
+            quarantine_threshold=1.5,
+            health_half_life=300.0,
+            probe_cooldown=60.0,
+        ),
+    )
+
+
+class TestHealthLedgerLifecycle:
+    def test_flap_train_quarantines_then_probes_back(self):
+        report = run_sched(_flap_train_config())["bin-pack"]
+        (quarantine,) = _entries(report, "quarantine")
+        assert quarantine["detail"]["node"] == 0
+        assert quarantine["detail"]["suspicion"] >= 1.5
+        probe_at = quarantine["detail"]["probe_at"]
+        assert probe_at == quarantine["t"] + 60.0
+        probes = _entries(report, "probe")
+        assert probes and probes[0]["kind"] == "health"
+        assert probes[0]["fault_id"] == -1
+        assert probes[0]["t"] >= probe_at
+        assert probes[0]["detail"]["action"] == (
+            "cool-down elapsed; node returned to candidate pool"
+        )
+        health = report.fault_log["health"]
+        assert health["quarantines"] == 1
+        assert health["probes"] >= 1
+        assert health["quarantined_end"] == []
+
+    def test_health_timeline_identical_across_policies(self):
+        # The ledger is driven by the fault plan alone, so every policy
+        # sees the same quarantine/probe schedule — that is what makes
+        # the policy comparison fair.
+        reports = run_sched(
+            _flap_train_config(policies=("bin-pack", "spread", "fault-aware"))
+        )
+        timelines = {
+            policy: [
+                (e["phase"], e["t"], e.get("detail", {}).get("node"))
+                for e in report.fault_log["entries"]
+                if e["phase"] in ("quarantine", "probe")
+            ]
+            for policy, report in reports.items()
+        }
+        assert len({json.dumps(t) for t in timelines.values()}) == 1
+        healths = {
+            json.dumps(r.fault_log["health"], sort_keys=True)
+            for r in reports.values()
+        }
+        assert len(healths) == 1
+
+    def test_health_summary_present_without_storm(self):
+        report = run_sched(_sched_config([]))["bin-pack"]
+        health = report.fault_log["health"]
+        assert health["quarantines"] == 0
+        assert health["suspects"] == []
 
 
 class TestSchedDeterminism:

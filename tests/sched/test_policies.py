@@ -121,3 +121,86 @@ class TestBuiltinOrderings:
         assert aware == [2, 1]
         spread = build_policy("spread")(job, [1, 2], state)
         assert spread == [1, 2]
+
+
+class TestFaultAwareOrdering:
+    """The ledger-reading policy: quarantine, suspicion tiers, AZ blocks."""
+
+    @staticmethod
+    def _ledger(threshold=2.0):
+        from repro.faults.health import HealthPolicy, NodeHealthLedger
+
+        return NodeHealthLedger(
+            HealthPolicy(
+                quarantine_threshold=threshold,
+                half_life_s=300.0,
+                probe_cooldown_s=180.0,
+            )
+        )
+
+    def test_degenerates_to_spread_without_ledger(self, state):
+        assert state.health is None
+        state.place("a", [1], 4)
+        job = JobSpec(name="j", gpus_per_node=2)
+        fault_aware = build_policy("fault-aware")(job, [0, 1, 2, 3], state)
+        spread = build_policy("spread")(job, [0, 1, 2, 3], state)
+        assert fault_aware == spread
+
+    def test_returns_permutation_of_candidates(self, state):
+        ledger = self._ledger()
+        ledger.observe(2, 0.0, "node-crash")
+        ledger.observe(2, 1.0, "node-crash")  # quarantines node 2
+        ledger.observe(0, 5.0, "nic-degrade")
+        state.health, state.now = ledger, 10.0
+        job = JobSpec(name="j", gpus_per_node=2)
+        ordered = build_policy("fault-aware")(job, [3, 1, 0, 2], state)
+        assert sorted(ordered) == [0, 1, 2, 3]
+
+    def test_quarantined_node_sorts_last(self, state):
+        ledger = self._ledger(threshold=1.5)
+        ledger.observe(0, 0.0, "node-crash")
+        ledger.observe(0, 5.0, "node-crash")
+        assert ledger.is_quarantined(0)
+        state.health, state.now = ledger, 10.0
+        job = JobSpec(name="j", gpus_per_node=2)
+        ordered = build_policy("fault-aware")(job, [0, 1, 2, 3], state)
+        assert ordered[-1] == 0
+        # Still a candidate: a saturated cluster may fall back to it.
+        assert set(ordered) == {0, 1, 2, 3}
+
+    def test_critical_job_avoids_mild_suspicion_best_effort_ignores(self, state):
+        # Node 0 is mildly suspect (score < threshold / 2).  A deadline
+        # job sorts by exact suspicion and dodges it; a best-effort job
+        # buckets it with the clean nodes and keeps the id tie-break.
+        ledger = self._ledger(threshold=2.0)
+        ledger.observe(0, 0.0, "nic-degrade")  # 0.4 < 1.0
+        state.health, state.now = ledger, 0.0
+        policy = build_policy("fault-aware")
+        critical = JobSpec(name="c", gpus_per_node=2, deadline_seconds=100.0)
+        assert policy(critical, [0, 1, 2, 3], state)[-1] == 0
+        best_effort = JobSpec(name="b", gpus_per_node=2)
+        assert policy(best_effort, [0, 1, 2, 3], state)[0] == 0
+
+    def test_best_effort_dodges_heavy_suspicion(self, state):
+        # Above threshold / 2 even best-effort jobs steer away.
+        ledger = self._ledger(threshold=2.0)
+        ledger.observe(0, 0.0, "node-crash")  # 1.0 >= 1.0
+        state.health, state.now = ledger, 0.0
+        job = JobSpec(name="b", gpus_per_node=2)
+        ordered = build_policy("fault-aware")(job, [0, 1, 2, 3], state)
+        assert ordered[-1] == 0
+
+    def test_interleaves_across_az_blocks(self):
+        # Eight nodes -> four two-node AZ blocks.  On a clean ledger the
+        # first round takes each block's head: one reclaim can't erase a
+        # whole multi-node allocation.
+        from repro.sched.policies import ClusterState
+
+        state = ClusterState(num_nodes=8, gpus_per_node=8)
+        state.health, state.now = self._ledger(), 0.0
+        job = JobSpec(name="j", gpus_per_node=2)
+        ordered = build_policy("fault-aware")(job, list(range(8)), state)
+        assert ordered == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_alias_health_aware_resolves(self):
+        assert POLICIES.canonical("health-aware") == "fault-aware"
