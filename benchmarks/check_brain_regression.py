@@ -1,0 +1,169 @@
+"""CI gate on brain-drill determinism and the brain-vs-static win.
+
+Compares a freshly produced ``BENCH_brain_run.json`` against the
+committed ``results/BENCH_brain.json`` baseline and enforces the brain
+subsystem's acceptance bar:
+
+* **determinism** (hard, every host) — ``meta.deterministic`` must be
+  true: the serial loop and a process pool produced bit-identical drill
+  payloads.  Brain decisions are pure functions of the observation and
+  all timestamps are virtual seconds, so this never depends on the
+  machine;
+* **digest pins** (hard, every host) — the per-brain decision-log and
+  fault-log digests must equal the committed baseline's.  A drift means
+  the brain decided differently (or the storm replayed differently),
+  which must be a deliberate baseline update, never an accident;
+* **brain beats static** (hard, every host) — ``health-migrate`` must
+  strictly beat the ``static`` fault-aware baseline on goodput under
+  the storm, mean JCT, and $/kilo-iteration, with finish-time fairness
+  no worse.  Pure simulation, so the comparison is host-independent;
+* **decisions applied** (hard) — the winning brain must have applied at
+  least one migration: a win with an empty decision log is not
+  attributable to the brain;
+* **goodput drift** (advisory) — a per-brain goodput-ratio drop against
+  the committed baseline beyond ``--threshold`` only prints a note.
+
+Usage (as the CI ``brain-smoke`` job does)::
+
+    python -m pytest benchmarks/bench_brain.py -q --benchmark-disable
+    python benchmarks/check_brain_regression.py \
+        --baseline results/BENCH_brain.json \
+        --current results/BENCH_brain_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text())
+    meta = payload.get("meta", {})
+    for key in ("deterministic", "brains", "digests"):
+        if key not in meta:
+            raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
+    for key in ("columns", "rows"):
+        if key not in payload:
+            raise SystemExit(f"{path}: bench payload lacks {key!r}")
+    return payload
+
+
+def _cell(payload: dict, row: list, column: str):
+    return row[payload["columns"].index(column)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_brain.json")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_brain_run.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional goodput-ratio drop vs the committed "
+                             "baseline that triggers the advisory note")
+    args = parser.parse_args(argv)
+
+    base = load_payload(args.baseline)
+    cur = load_payload(args.current)
+    failures = []
+
+    if not cur["meta"]["deterministic"]:
+        failures.append("deterministic is false: serial vs pool diverged")
+        print("FAIL: serial and process-pool brain payloads diverged")
+    else:
+        print("ok: serial and process-pool brain payloads bit-identical")
+
+    base_digests = base["meta"]["digests"]
+    cur_digests = cur["meta"]["digests"]
+    missing = sorted(set(base_digests) - set(cur_digests))
+    drifted = sorted(
+        brain
+        for brain in base_digests
+        if brain in cur_digests and cur_digests[brain] != base_digests[brain]
+    )
+    if missing:
+        failures.append(f"brains missing from the drill matrix: {missing}")
+        print(f"FAIL: brains missing from the drill matrix: {missing}")
+    if drifted:
+        failures.append(f"decision/fault-log digests drifted: {drifted}")
+        print(
+            f"FAIL: digests drifted for {drifted} — the brain decided "
+            "differently (or the storm replayed differently); update the "
+            "committed baseline deliberately if intended"
+        )
+    if not missing and not drifted:
+        print(f"ok: {len(base_digests)} per-brain digest pairs match baseline")
+
+    by_brain = {_cell(cur, row, "brain"): row for row in cur["rows"]}
+    if "static" not in by_brain or "health-migrate" not in by_brain:
+        failures.append("drill matrix lacks the static/health-migrate pair")
+        print("FAIL: drill matrix lacks the static/health-migrate pair")
+    else:
+        static, brain = by_brain["static"], by_brain["health-migrate"]
+        losses = []
+        if not _cell(cur, brain, "storm_goodput") > _cell(cur, static, "storm_goodput"):
+            losses.append("goodput-under-storm")
+        if not _cell(cur, brain, "mean_jct_s") < _cell(cur, static, "mean_jct_s"):
+            losses.append("mean JCT")
+        if not _cell(cur, brain, "usd_per_kiter") < _cell(cur, static, "usd_per_kiter"):
+            losses.append("$/kiter")
+        if not _cell(cur, brain, "fairness") >= _cell(cur, static, "fairness"):
+            losses.append("finish-time fairness")
+        if losses:
+            failures.append(f"health-migrate does not beat static on: {losses}")
+            print(
+                f"FAIL: health-migrate does not beat the static fault-aware "
+                f"baseline on {losses}"
+            )
+        else:
+            print(
+                "ok: health-migrate beats static on goodput "
+                f"({_cell(cur, brain, 'storm_goodput')} > "
+                f"{_cell(cur, static, 'storm_goodput')}), JCT, and $/kiter "
+                "with fairness no worse"
+            )
+        applied = (
+            _cell(cur, brain, "migrations")
+            + _cell(cur, brain, "shrinks")
+            + _cell(cur, brain, "grows")
+        )
+        if applied < 1 or _cell(cur, brain, "migrations") < 1:
+            failures.append("health-migrate won without applying a migration")
+            print(
+                "FAIL: health-migrate applied no migration — the win is not "
+                "attributable to the brain"
+            )
+        else:
+            print(
+                f"ok: health-migrate applied {applied} decisions "
+                f"({_cell(cur, brain, 'migrations')} migrations)"
+            )
+
+    base_ratio = {
+        _cell(base, row, "brain"): _cell(base, row, "goodput_ratio")
+        for row in base["rows"]
+    }
+    for row in cur["rows"]:
+        brain = _cell(cur, row, "brain")
+        ratio = _cell(cur, row, "goodput_ratio")
+        baseline_ratio = base_ratio.get(brain)
+        if baseline_ratio and ratio is not None:
+            floor = baseline_ratio * (1.0 - args.threshold)
+            if ratio < floor:
+                print(
+                    f"note: {brain} goodput ratio fell to {ratio:.3f} from "
+                    f"baseline {baseline_ratio:.3f} — advisory only"
+                )
+
+    if failures:
+        print(f"FAIL: brain drill gate: {failures}")
+        return 1
+    print("ok: brain drills within the gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ LIST_GROUPS = (
     "policies",
     "backends",
     "faults",
+    "brains",
     "experiments",
 )
 
@@ -220,6 +221,7 @@ def _registry_lines(reg: registry.Registry) -> list[str]:
 
 
 def _cmd_list(group: str | None) -> int:
+    from repro.brain import BRAINS
     from repro.exec.backend import BACKENDS
     from repro.faults.registry import FAULTS
     from repro.sched.policies import POLICIES
@@ -232,6 +234,7 @@ def _cmd_list(group: str | None) -> int:
         "policies": POLICIES,
         "backends": BACKENDS,
         "faults": FAULTS,
+        "brains": BRAINS,
     }
     groups = (group,) if group else LIST_GROUPS
     for i, name in enumerate(groups):

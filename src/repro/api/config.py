@@ -283,6 +283,71 @@ def _validate_faults(faults: FaultsConfig, *, seed: int, target: str) -> None:
 
 
 @dataclass(frozen=True)
+class BrainConfig:
+    """The autotuning brain of a sched scenario (``repro.brain``).
+
+    Present ⇒ the named :class:`~repro.brain.Autotuner` observes every
+    policy run and issues migrate/shrink/grow decisions at each tick;
+    absent — or ``static`` — ⇒ every code path is byte-identical to a
+    build without the subsystem.
+    """
+
+    #: Registered brain name or alias (``python -m repro list brains``);
+    #: built-ins: ``static`` / ``throughput`` / ``health-migrate``.
+    name: str = "static"
+    #: Virtual seconds between decision ticks, > 0.
+    interval: float = 60.0
+    #: Seconds a just-rescaled job (and its vacated node) is frozen
+    #: against autoscale reversal, >= 0.
+    min_dwell: float = 120.0
+    #: Suspicion fraction of the quarantine threshold at which a node
+    #: reads as *gray* (migration candidate), in (0, 1].
+    migrate_suspicion: float = 0.5
+    #: Minimum marginal-node scaling efficiency (net of rollback risk)
+    #: required to grow, in (0, 1].
+    grow_efficiency: float = 0.7
+    #: Marginal efficiency below which the last node is shed, in [0, 1).
+    shrink_efficiency: float = 0.25
+    #: Weight of the suspicion-priced expected rollback cost subtracted
+    #: from a scale-up's efficiency, >= 0.
+    rollback_weight: float = 1.0
+    #: Applied decisions per tick across all jobs, >= 1.
+    max_actions: int = 2
+
+
+def _validate_brain(brain: BrainConfig) -> None:
+    from repro.brain.base import BRAINS
+
+    if brain.name not in BRAINS:
+        raise ConfigError(
+            f"unknown brain {brain.name!r}; "
+            f"registered: {', '.join(BRAINS.available())}"
+        )
+    if brain.interval <= 0:
+        raise ConfigError(f"brain interval must be > 0, got {brain.interval}")
+    if brain.min_dwell < 0:
+        raise ConfigError(f"brain min_dwell must be >= 0, got {brain.min_dwell}")
+    if not 0 < brain.migrate_suspicion <= 1:
+        raise ConfigError(
+            f"brain migrate_suspicion must be in (0, 1], got {brain.migrate_suspicion}"
+        )
+    if not 0 < brain.grow_efficiency <= 1:
+        raise ConfigError(
+            f"brain grow_efficiency must be in (0, 1], got {brain.grow_efficiency}"
+        )
+    if not 0 <= brain.shrink_efficiency < 1:
+        raise ConfigError(
+            f"brain shrink_efficiency must be in [0, 1), got {brain.shrink_efficiency}"
+        )
+    if brain.rollback_weight < 0:
+        raise ConfigError(
+            f"brain rollback_weight must be >= 0, got {brain.rollback_weight}"
+        )
+    if brain.max_actions < 1:
+        raise ConfigError(f"brain max_actions must be >= 1, got {brain.max_actions}")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything one run needs, serializable and seed-complete."""
 
@@ -515,6 +580,9 @@ class SchedConfig:
     #: Optional fault plan perturbing the shared cluster (node crashes,
     #: AZ reclaims, NIC degradation, stragglers); see ``docs/faults.md``.
     faults: FaultsConfig | None = None
+    #: Optional autotuning brain re-planning per-job resources online
+    #: (migrate/shrink/grow); see ``docs/brain.md``.
+    brain: BrainConfig | None = None
     #: Where the per-policy simulations run: the ``process`` backend
     #: fans the policy grid across cores (results identical to serial).
     exec: ExecConfig = field(default_factory=ExecConfig)
@@ -554,6 +622,8 @@ class SchedConfig:
             kwargs["trace"] = data["trace"]
         if data.get("faults") is not None:
             kwargs["faults"] = _faults_from_dict(data["faults"])
+        if data.get("brain") is not None:
+            kwargs["brain"] = _from_dict("brain", data["brain"], BrainConfig)
         if "exec" in data:
             kwargs["exec"] = _from_dict("exec", data["exec"], ExecConfig)
         config = cls(**kwargs)
@@ -596,6 +666,11 @@ class SchedConfig:
                 if self.faults is not None
                 else {}
             ),
+            **(
+                {"brain": dataclasses.asdict(self.brain)}
+                if self.brain is not None
+                else {}
+            ),
             "exec": dataclasses.asdict(self.exec),
         }
 
@@ -632,6 +707,8 @@ class SchedConfig:
             )
         if self.faults is not None:
             _validate_faults(self.faults, seed=self.seed, target="sched")
+        if self.brain is not None:
+            _validate_brain(self.brain)
         if self.trace is not None:
             if not isinstance(self.trace, str) or not self.trace:
                 raise ConfigError("'trace' must be a non-empty path string")
@@ -691,9 +768,9 @@ def _apply_overrides_data(data: dict, overrides: Sequence[str]) -> dict:
     """Apply dotted-path overrides to a config dict (shared helper).
 
     Numeric path segments index into lists (``--set jobs.0.priority=5``);
-    ``elastic`` and ``faults`` materialise as empty sections on first
-    touch so any config can opt into churn or fault drills from the
-    command line.
+    ``elastic``, ``faults`` and ``brain`` materialise as empty sections
+    on first touch so any config can opt into churn, fault drills or an
+    autotuning brain from the command line.
     """
     for item in overrides:
         if "=" not in item:
@@ -704,7 +781,11 @@ def _apply_overrides_data(data: dict, overrides: Sequence[str]) -> dict:
             raise ConfigError(f"override {item!r} has an empty key path")
         node: Any = data
         for i, key in enumerate(keys[:-1]):
-            if key in ("elastic", "faults") and node is data and data.get(key) is None:
+            if (
+                key in ("elastic", "faults", "brain")
+                and node is data
+                and data.get(key) is None
+            ):
                 data[key] = {}
             if isinstance(node, list):
                 if not key.isdigit() or int(key) >= len(node):
@@ -764,6 +845,7 @@ __all__ = [
     "ExecConfig",
     "FaultConfig",
     "FaultsConfig",
+    "BrainConfig",
     "RunConfig",
     "JobConfig",
     "SchedConfig",

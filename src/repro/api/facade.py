@@ -355,6 +355,7 @@ def run_sched(config) -> dict:
         seed=config.seed,
         name=config.name,
         faults=_sched_fault_plan(config),
+        brain=config.brain,
     )
 
 

@@ -1,0 +1,106 @@
+"""Registry-pluggable autotuning brains (``repro.brain``).
+
+An *autotuner* ("Brain", after EasyDL/DLRover's resource-plan
+optimizer) watches one :class:`~repro.sched.MultiTenantScheduler`
+simulation from the inside and periodically re-plans per-job resources:
+it observes per-job throughput, NIC contention, spot pricing, and the
+:class:`~repro.faults.health.NodeHealthLedger` suspicion signals, and
+answers with :class:`Action`\\ s — migrate a job off a node trending
+toward quarantine, pre-emptively shrink onto clean hardware when no
+replacement exists, or grow when the marginal node pays for itself with
+the expected rollback cost priced in.
+
+Brains register in the ``repro.api`` registry style::
+
+    from repro.brain import Autotuner, register_brain
+
+    @register_brain("my-brain")
+    class MyBrain(Autotuner):
+        def decide(self, obs):
+            return []
+
+Every decision flows through the existing scheduler machinery
+(:class:`~repro.sched.policies.ClusterState` transitions +
+:class:`~repro.elastic.membership.MembershipView` epochs), never around
+it, and the whole layer is closed-form deterministic: no RNG, no wall
+clock, decisions are pure functions of the observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.api.registry import Registry
+
+#: Brain registry: name -> :class:`Autotuner` subclass.
+BRAINS = Registry("brain")
+
+#: The decision kinds a brain may issue.
+ACTION_KINDS = ("migrate", "shrink", "grow")
+
+
+def register_brain(name: str, *, aliases: Iterable[str] = (), overwrite: bool = False):
+    """Register an :class:`Autotuner` subclass under ``name``."""
+    return BRAINS.register(name, aliases=aliases, overwrite=overwrite)
+
+
+def build_brain(config) -> "Autotuner":
+    """Instantiate the brain a :class:`~repro.api.config.BrainConfig` names."""
+    cls = BRAINS.get(config.name)
+    return cls(config)
+
+
+@dataclass(frozen=True)
+class Action:
+    """One resource-plan decision for one job.
+
+    ``src`` is the node the job leaves (migrate / shrink), ``dst`` the
+    node it takes (migrate / grow).  The :class:`~repro.brain.driver
+    .BrainDriver` validates every action against live cluster state and
+    the job's gang window before applying it — an infeasible action is
+    declined and logged, never partially applied.
+    """
+
+    kind: str
+    job: str
+    src: int | None = None
+    dst: int | None = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(
+                f"unknown action kind {self.kind!r}; expected one of {ACTION_KINDS}"
+            )
+
+
+class Autotuner:
+    """Base class of all brains.
+
+    Subclasses override :meth:`decide`; the driver calls it once per
+    decision tick with a :class:`~repro.brain.signals.BrainObservation`
+    and applies the returned actions (bounded by ``max_actions`` and the
+    per-job dwell window).
+    """
+
+    #: Inactive brains never construct a driver, so a run configured
+    #: with one stays *byte-identical* to a run with no brain at all
+    #: (same event count, same payload) — the ``static`` contract.
+    active = True
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    def decide(self, obs) -> list[Action]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+__all__ = [
+    "BRAINS",
+    "ACTION_KINDS",
+    "register_brain",
+    "build_brain",
+    "Action",
+    "Autotuner",
+]

@@ -1,0 +1,172 @@
+"""The built-in brains: ``static``, ``throughput``, ``health-migrate``.
+
+* ``static`` — the no-op.  Registered so configs can name it, but
+  inactive: a run with ``brain: {"name": "static"}`` is byte-identical
+  to a run with no brain section at all.
+* ``throughput`` — model-driven rescale.  Grows a job when the marginal
+  node's scaling efficiency (with the expected rollback cost of the
+  target node priced in) clears ``grow_efficiency``; shrinks when the
+  last node's marginal contribution falls below ``shrink_efficiency``
+  — paying for nodes that barely move the iteration rate is what ruins
+  $/kiter on contended clouds.
+* ``health-migrate`` — health-signal-driven placement repair.  Walks
+  running jobs most-critical-first and moves them off nodes trending
+  toward quarantine *before* the crash: migrate to the cleanest free
+  node when one exists, else pre-emptively shrink off the gray node
+  (staying synchronous on one clean node beats dragging a whole gang at
+  a straggler's pace).  Also applies the ``throughput`` shrink rule so
+  clean-but-useless capacity is still returned.
+"""
+
+from __future__ import annotations
+
+from repro.brain.base import Action, Autotuner, register_brain
+from repro.brain.signals import BrainObservation, JobSignal
+
+
+def _critical_order(job: JobSignal) -> tuple:
+    """Most-critical jobs first: priority, then deadline, then name."""
+    return (-job.priority, job.deadline_seconds is None, job.name)
+
+
+def _worst_first(obs: BrainObservation, nodes) -> list[int]:
+    """An allocation's nodes ordered most-suspect (then highest id) first."""
+    return sorted(nodes, key=lambda n: (-obs.node(n).suspicion, -n))
+
+
+@register_brain("static", aliases=("none", "noop"))
+class StaticBrain(Autotuner):
+    """Never decides anything; never even constructs a driver."""
+
+    active = False
+
+    def decide(self, obs: BrainObservation) -> list[Action]:
+        return []
+
+
+@register_brain("throughput", aliases=("rescale",))
+class ThroughputBrain(Autotuner):
+    """Grow when the marginal node pays for itself; shrink when it doesn't."""
+
+    def decide(self, obs: BrainObservation) -> list[Action]:
+        actions: list[Action] = []
+        cutoff = self.config.migrate_suspicion * obs.quarantine_threshold
+        for job in sorted(obs.jobs, key=_critical_order):
+            actions.extend(self._rescale(obs, job, cutoff))
+        return actions
+
+    def _rescale(self, obs, job, cutoff) -> list[Action]:
+        k = len(job.nodes)
+        current = obs.throughput(job.name, k)
+        if current <= 0:
+            return []
+        linear = current / k  # one node's share under perfect scaling
+        if k < job.max_nodes:
+            candidates = obs.clean_candidates(obs.job(job.name), obs.job_gpus(job.name), cutoff)
+            if candidates:
+                dst = candidates[0]
+                gain = obs.throughput(job.name, k + 1) - current
+                efficiency = gain / linear
+                # Scale-up pricing: the suspicion-weighted rollback the
+                # target node would cost, as a fraction of the gain.
+                risk = self.config.rollback_weight * obs.suspicion_fraction(dst)
+                if efficiency - risk >= self.config.grow_efficiency:
+                    return [
+                        Action(
+                            "grow",
+                            job.name,
+                            dst=dst,
+                            reason=(
+                                f"marginal efficiency {efficiency:.3f} - risk "
+                                f"{risk:.3f} >= {self.config.grow_efficiency}"
+                            ),
+                        )
+                    ]
+        if k > job.min_nodes:
+            down = obs.throughput(job.name, k - 1)
+            last_efficiency = (current - down) / linear
+            if last_efficiency < self.config.shrink_efficiency:
+                src = _worst_first(obs, job.nodes)[0]
+                return [
+                    Action(
+                        "shrink",
+                        job.name,
+                        src=src,
+                        reason=(
+                            f"last node adds {last_efficiency:.3f} < "
+                            f"{self.config.shrink_efficiency} of linear"
+                        ),
+                    )
+                ]
+        return []
+
+
+@register_brain("health-migrate", aliases=("health", "migrate"))
+class HealthMigrateBrain(Autotuner):
+    """Move jobs off nodes trending toward quarantine before they crash."""
+
+    def decide(self, obs: BrainObservation) -> list[Action]:
+        # Without a health ledger nothing ever reads as gray (the
+        # threshold is inf), so only the rescale pass below fires.
+        cutoff = self.config.migrate_suspicion * obs.quarantine_threshold
+        actions: list[Action] = []
+        repaired: set[str] = set()  # jobs already given a health repair
+        taken: set[int] = set()  # targets already promised this tick
+        for job in sorted(obs.jobs, key=_critical_order):
+            gray = [n for n in job.nodes if obs.is_gray(n, cutoff)]
+            if not gray:
+                continue
+            gpus = obs.job_gpus(job.name)
+            shrunk = 0
+            for src in _worst_first(obs, gray):
+                suspicion = obs.node(src).suspicion
+                candidates = [
+                    n
+                    for n in obs.clean_candidates(job, gpus, cutoff)
+                    if n not in taken
+                ]
+                if candidates:
+                    dst = candidates[0]
+                    taken.add(dst)
+                    repaired.add(job.name)
+                    actions.append(
+                        Action(
+                            "migrate",
+                            job.name,
+                            src=src,
+                            dst=dst,
+                            reason=(
+                                f"node {src} suspicion {suspicion:.3f} >= "
+                                f"{cutoff:.3f}; target {dst} suspicion "
+                                f"{obs.node(dst).suspicion:.3f}"
+                            ),
+                        )
+                    )
+                elif len(job.nodes) - shrunk > job.min_nodes:
+                    shrunk += 1
+                    repaired.add(job.name)
+                    actions.append(
+                        Action(
+                            "shrink",
+                            job.name,
+                            src=src,
+                            reason=(
+                                f"node {src} suspicion {suspicion:.3f} >= "
+                                f"{cutoff:.3f}; no clean replacement — "
+                                "pre-emptive shrink onto clean hardware"
+                            ),
+                        )
+                    )
+        # Second pass: model-driven rescale for the healthy gangs.  The
+        # full Brain, not a one-trick migrator — a job that never saw a
+        # gray node still sheds (or earns) its marginal node by the
+        # ``throughput`` rules, rollback risk priced in.
+        rescaler = ThroughputBrain(self.config)
+        for job in sorted(obs.jobs, key=_critical_order):
+            if job.name in repaired:
+                continue
+            actions.extend(rescaler._rescale(obs, job, cutoff))
+        return actions
+
+
+__all__ = ["StaticBrain", "ThroughputBrain", "HealthMigrateBrain"]

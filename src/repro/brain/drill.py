@@ -1,0 +1,213 @@
+"""Brain drill: the gray storm, re-fought with an autotuner in the loop.
+
+PR 8's policy drill showed that *placing* work health-first
+(``fault-aware``) beats fault-blind placement under the committed
+gray storm.  This drill asks the next question: once placement is
+already fault-aware, does *online re-planning* still pay?  It replays
+:data:`repro.faults.drill.GRAY_STORM_EVENTS` through the multi-tenant
+scheduler under the ``fault-aware`` policy once per registered brain —
+``static`` (the no-brain baseline: placement-time health awareness
+only), ``throughput``, and ``health-migrate`` — and scores each on
+goodput under the storm, mean JCT, finish-time fairness (Jain's index
+over per-job completion times), and $/kilo-iteration.
+
+The static baseline's weakness is structural: placement decisions are
+made once, at admission, with whatever the ledger knew *then*.  Node 1
+starts straggling at t=25 and stretches every gang it belongs to by 3x
+for most of the run — but the static run never revisits the allocation,
+so autoscale growth parks jobs on the straggler and leaves them there.
+``health-migrate`` watches suspicion trend upward mid-run and moves the
+work (or pre-emptively shrinks it onto clean hardware), which is
+exactly the continuous re-planning the EasyDL/DLRover Brain argues for.
+
+Everything is closed-form deterministic; the per-brain decision-log and
+fault-log digests pin bit-identical replay across hosts and ``--jobs``
+widths in ``results/BENCH_brain.json``.
+"""
+
+from __future__ import annotations
+
+from repro.api.config import SchedConfig
+from repro.faults.drill import GRAY_STORM_EVENTS, GRAY_STORM_HEALTH, gray_storm_config
+from repro.utils.tables import format_table
+
+#: Keep in sync with ``benchmarks/conftest.py::BENCH_SCHEMA_VERSION``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Brains the drill compares (static first: it is the baseline every
+#: active brain must beat).
+BRAIN_DRILL_BRAINS = ("static", "throughput", "health-migrate")
+
+#: The placement policy every drill run uses.  Fixing it to the
+#: strongest fault-aware baseline makes the comparison honest: the
+#: brain's win is attributable to *online re-planning*, not to beating
+#: a fault-blind placement it never had to compete with.
+BRAIN_DRILL_POLICY = "fault-aware"
+
+#: Columns of the ``BENCH_brain.json`` rows.
+BRAIN_DRILL_COLUMNS = [
+    "brain",
+    "storm_goodput",
+    "baseline_goodput",
+    "goodput_ratio",
+    "mean_jct_s",
+    "fairness",
+    "usd_per_kiter",
+    "deadline_hit_rate",
+    "migrations",
+    "shrinks",
+    "grows",
+    "declined",
+    "brain_digest",
+    "fault_digest",
+]
+
+
+def brain_storm_config(
+    brain: str = "static", *, storm: bool = True, seed: int = 7
+) -> SchedConfig:
+    """The gray-storm scenario under ``fault-aware``, with one brain.
+
+    Identical cluster, jobs, storm and health knobs to the PR 8 policy
+    drill — only the ``brain`` section varies, so every delta in the
+    scorecard is the autotuner's doing.
+    """
+    data = gray_storm_config([BRAIN_DRILL_POLICY], storm=storm, seed=seed).to_dict()
+    data["name"] = f"gray-storm-{brain}" + ("" if storm else "-baseline")
+    data["brain"] = {"name": brain}
+    return SchedConfig.from_dict(data)
+
+
+def _jain_fairness(values) -> float | None:
+    """Jain's fairness index over per-job completion times, in (0, 1].
+
+    1.0 = every job finished in the same time; the index collapses
+    toward ``1/n`` as one tenant's completion time dwarfs the rest —
+    the finish-time-fairness lens on a storm that slows whichever gang
+    is stuck on the straggler.
+    """
+    values = [v for v in values if v is not None]
+    if not values:
+        return None
+    total = sum(values)
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    return (total * total) / (len(values) * square_sum)
+
+
+def run_brain_drills(brains=None, *, seed: int = 7, sweeper=None) -> list[dict]:
+    """Gray storm per brain + one fault-free no-brain baseline.
+
+    Returns one scored dict per brain.  ``baseline_goodput`` is the
+    fault-free, brain-free run's cluster goodput — the healthy schedule
+    every brain is normalised against, so ``goodput_ratio`` reads as
+    "fraction of the healthy schedule kept under the storm".
+    """
+    from repro.brain.base import BRAINS
+
+    names = [BRAINS.canonical(b) or b for b in (brains or BRAIN_DRILL_BRAINS)]
+    configs = [brain_storm_config(seed=seed, storm=False)]
+    configs.extend(brain_storm_config(brain, seed=seed) for brain in names)
+    if sweeper is not None:
+        reports = [
+            next(iter(sweeper.run_sched_policies(config).values()))
+            for config in configs
+        ]
+    else:
+        from repro.api.facade import run_sched
+
+        reports = [next(iter(run_sched(config).values())) for config in configs]
+    baseline, storm_reports = reports[0], reports[1:]
+    baseline_goodput = baseline.cluster_goodput_it_per_s
+    results = []
+    for brain, report in zip(names, storm_reports):
+        brain_log = report.brain_log or {}
+        iters = sum(outcome.iterations for outcome in report.jobs)
+        jcts = [outcome.jct_s for outcome in report.jobs]
+        done = [jct for jct in jcts if jct is not None]
+        results.append(
+            {
+                "brain": brain,
+                "storm_goodput": round(report.cluster_goodput_it_per_s, 6),
+                "baseline_goodput": round(baseline_goodput, 6),
+                "goodput_ratio": (
+                    round(report.cluster_goodput_it_per_s / baseline_goodput, 6)
+                    if baseline_goodput
+                    else None
+                ),
+                "mean_jct_s": (
+                    round(sum(done) / len(done), 3) if done else None
+                ),
+                "fairness": (
+                    round(_jain_fairness(jcts), 6)
+                    if _jain_fairness(jcts) is not None
+                    else None
+                ),
+                "usd_per_kiter": (
+                    round(report.total_cost_usd / (iters / 1000.0), 6)
+                    if iters
+                    else None
+                ),
+                "deadline_hit_rate": report.deadline_hit_rate,
+                "migrations": brain_log.get("migrations", 0),
+                "shrinks": brain_log.get("shrinks", 0),
+                "grows": brain_log.get("grows", 0),
+                "declined": brain_log.get("declined", 0),
+                "brain_digest": brain_log.get("digest"),
+                "fault_digest": (
+                    report.fault_log["digest"]
+                    if report.fault_log is not None
+                    else None
+                ),
+                # Full structured decision log for callers that audit the
+                # replay (stripped from the BENCH rows; digest pins it).
+                "entries": brain_log.get("entries", []),
+            }
+        )
+    return results
+
+
+def brain_drills_payload(
+    brains=None, *, seed: int = 7, sweeper=None, bench: str = "brain"
+) -> dict:
+    """One BENCH-schema payload covering the brain drill matrix."""
+    results = run_brain_drills(brains, seed=seed, sweeper=sweeper)
+    rows = [[result[column] for column in BRAIN_DRILL_COLUMNS] for result in results]
+    title = (
+        f"{bench}: {len(results)} brains x gray storm under "
+        f"{BRAIN_DRILL_POLICY} (seed {seed})"
+    )
+    text = format_table(BRAIN_DRILL_COLUMNS, rows, title=title)
+    return {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "structured": True,
+        "columns": list(BRAIN_DRILL_COLUMNS),
+        "rows": rows,
+        "text": text if text.endswith("\n") else text + "\n",
+        "meta": {
+            "seed": seed,
+            "policy": BRAIN_DRILL_POLICY,
+            "brains": [result["brain"] for result in results],
+            "storm": [dict(event) for event in GRAY_STORM_EVENTS],
+            "health": dict(GRAY_STORM_HEALTH),
+            "digests": {
+                result["brain"]: {
+                    "brain": result["brain_digest"],
+                    "faults": result["fault_digest"],
+                }
+                for result in results
+            },
+        },
+    }
+
+
+__all__ = [
+    "BRAIN_DRILL_BRAINS",
+    "BRAIN_DRILL_POLICY",
+    "BRAIN_DRILL_COLUMNS",
+    "brain_storm_config",
+    "run_brain_drills",
+    "brain_drills_payload",
+]

@@ -141,6 +141,7 @@ def _task_sched_policy(task: tuple[dict, str]) -> Any:
         seed=config.seed,
         name=config.name,
         faults=_sched_fault_plan(config),
+        brain=config.brain,
     )
     return next(iter(reports.values()))
 

@@ -1,0 +1,78 @@
+"""Brain autotuning: online re-planning vs static fault-aware placement.
+
+PR 8's fault drills established that health-aware *placement* beats
+fault-blind placement under the committed gray storm.  This experiment
+asks the follow-up question from the EasyDL/DLRover line of work: once
+placement is already fault-aware, does an online Brain that keeps
+re-planning mid-run — migrating gangs off nodes trending toward
+quarantine, pre-emptively shrinking onto clean hardware, and pricing
+expected rollback cost into every scale-up — still pay?
+
+It replays the same seeded gray storm once per registered brain
+(``static`` is the no-brain baseline) and prints the scorecard: goodput
+under the storm, mean JCT, finish-time fairness (Jain's index over
+per-job completion times), $/kilo-iteration, and the applied decision
+counts.  A second table dumps the winning brain's full decision log so
+the "why" behind every migrate/shrink/grow is auditable.
+"""
+
+from __future__ import annotations
+
+from repro.brain.drill import (
+    BRAIN_DRILL_COLUMNS,
+    BRAIN_DRILL_POLICY,
+    run_brain_drills,
+)
+from repro.faults.drill import GRAY_STORM_EVENTS
+from repro.utils.tables import print_table
+
+#: Brains the trimmed (--fast) drill covers — the baseline and the
+#: headline brain; the full run adds ``throughput``.
+FAST_BRAINS = ("static", "health-migrate")
+
+
+def main(fast: bool = False) -> None:
+    brains = FAST_BRAINS if fast else None  # None = every drill brain
+    print(
+        f"Gray storm ({len(GRAY_STORM_EVENTS)} faults, seed 7) under "
+        f"{BRAIN_DRILL_POLICY} placement, per brain:"
+    )
+    for event in GRAY_STORM_EVENTS:
+        print(f"  {event}")
+    results = run_brain_drills(brains, seed=7)
+    rows = [[result[column] for column in BRAIN_DRILL_COLUMNS] for result in results]
+    print_table(
+        BRAIN_DRILL_COLUMNS,
+        rows,
+        title="Brain drill: online re-planning vs the static baseline",
+    )
+
+    # Goodput first; JCT breaks ties (throughput and health-migrate can
+    # tie on goodput when both clear the same storm).
+    winner = max(results, key=lambda r: (r["storm_goodput"], -r["mean_jct_s"]))
+    entries = winner["entries"]
+    decisions = [e for e in entries if e["phase"] != "tick"]
+    print(
+        f"\nDecision log for {winner['brain']!r} "
+        f"({len(decisions)} decisions over {len(entries)} events):"
+    )
+    log_rows = [
+        [
+            entry["t"],
+            entry["phase"],
+            entry.get("job"),
+            entry["detail"].get("src"),
+            entry["detail"].get("dst"),
+            entry["detail"].get("reason"),
+        ]
+        for entry in decisions
+    ]
+    print_table(
+        ["t", "phase", "job", "src", "dst", "reason"],
+        log_rows,
+        title=f"{winner['brain']}: applied + declined decisions",
+    )
+
+
+if __name__ == "__main__":
+    main()

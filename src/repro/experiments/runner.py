@@ -19,6 +19,7 @@ import sys
 import time
 
 from repro.experiments import (
+    brain_autotune,
     elastic_churn,
     fault_drills,
     fig1_breakdown,
@@ -52,6 +53,7 @@ EXPERIMENTS = (
     ("Elastic churn", elastic_churn.main),
     ("Multi-tenant sched", multi_tenant.main),
     ("Fault drills", fault_drills.main),
+    ("Brain autotune", brain_autotune.main),
 )
 
 #: Harnesses whose ``main`` accepts ``fast=True`` to trim expensive
@@ -62,6 +64,7 @@ FAST_AWARE = (
     "Elastic churn",
     "Multi-tenant sched",
     "Fault drills",
+    "Brain autotune",
 )
 
 

@@ -176,6 +176,9 @@ class SchedReport:
     #: Fault-drill summary + structured event log (plain dict so reports
     #: pickle across process backends); ``None`` when no faults ran.
     fault_log: dict | None = None
+    #: Brain decision summary + structured log (same plain-dict shape);
+    #: ``None`` when no (active) brain drove the run.
+    brain_log: dict | None = None
 
     def summary(self) -> dict:
         return {
@@ -229,6 +232,11 @@ def payload_for_reports(
                 if any(r.fault_log is not None for r in reports)
                 else {}
             ),
+            **(
+                {"brain": {r.policy: r.brain_log for r in reports}}
+                if any(r.brain_log is not None for r in reports)
+                else {}
+            ),
         },
     }
 
@@ -264,6 +272,14 @@ class MultiTenantScheduler:
         one scheduler can replay the same fault storm under several
         policies.  ``None`` keeps every code path bit-identical to a
         fault-free build.
+    brain:
+        Optional :class:`~repro.api.config.BrainConfig`.  An *active*
+        brain (anything but ``static``) drives a fresh
+        :class:`~repro.brain.driver.BrainDriver` per :meth:`run`:
+        periodic decision ticks that migrate/shrink/grow running jobs
+        through the same state transitions every other decision uses.
+        ``None`` — or the inactive ``static`` brain — keeps every code
+        path bit-identical to a brain-free build.
     """
 
     def __init__(
@@ -277,6 +293,7 @@ class MultiTenantScheduler:
         max_events: int | None = None,
         name: str = "sched",
         faults=None,
+        brain=None,
     ) -> None:
         from repro.api.registry import CLUSTERS, get_cluster
 
@@ -295,6 +312,10 @@ class MultiTenantScheduler:
         self.max_events = max_events
         self.name = name
         self.faults = faults
+        self.brain = brain
+        #: Live per-run brain driver (``None`` outside an active-brain
+        #: run); consulted by autoscale growth for dwell/avoid guards.
+        self._brain_driver = None
         # The fast-path memoization layer.  Jobs sharing a workload key
         # (profile/scheme-kind/density/resolution/batch/GPU slice) are
         # timing-identical, so the caches are keyed per *key* — a
@@ -525,12 +546,21 @@ class MultiTenantScheduler:
         record.mark_waypoint()
         return True
 
-    def _grow(self, record: JobRecord, state: ClusterState) -> bool:
+    def _grow(self, record: JobRecord, state: ClusterState, now: float) -> bool:
         spec = record.spec
         if len(record.nodes) >= spec.max_nodes:
             return False
+        brain = self._brain_driver
+        if brain is not None and brain.grow_frozen(spec.name, now):
+            # The brain just rescaled this job; growing it back before
+            # the dwell window ends would undo the decision.
+            return False
         gpus = self._job_gpus(spec)
         candidates = state.feasible_nodes(gpus, exclude=record.nodes)
+        if brain is not None and candidates:
+            avoid = brain.avoid_nodes(now)
+            if avoid:
+                candidates = [n for n in candidates if n not in avoid]
         if not candidates:
             return False
         node = list(self.policy(spec, candidates, state))[0]
@@ -607,7 +637,7 @@ class MultiTenantScheduler:
                     running,
                     key=lambda r: (-r.spec.priority, r.spec.arrival_seconds, r.spec.name),
                 ):
-                    if self._grow(record, state):
+                    if self._grow(record, state, now):
                         changed = True
 
     # -- main loop ------------------------------------------------------------
@@ -636,6 +666,17 @@ class MultiTenantScheduler:
             # Publish the health ledger for the fault-aware policy;
             # fault-free runs leave state.health as None.
             state.health = driver.health
+        self._brain_driver = None
+        if self.brain is not None:
+            from repro.brain.base import build_brain
+            from repro.brain.driver import BrainDriver
+
+            autotuner = build_brain(self.brain)
+            if autotuner.active:
+                # Inactive brains (`static`) never get a driver, so the
+                # run stays byte-identical to a brain-free build.
+                self._brain_driver = BrainDriver(self.brain, autotuner, self)
+        brain_driver = self._brain_driver
         records = {job.name: JobRecord(spec=job) for job in jobs}
         pending = sorted(
             records.values(),
@@ -667,6 +708,12 @@ class MultiTenantScheduler:
                     running=running,
                 )
                 driver.apply_due(ctx)
+            if brain_driver is not None:
+                state.now = now
+                brain_driver.apply_due(
+                    now=now, state=state, queued=queued, running=running,
+                    faults=driver,
+                )
             self._schedule(queued, running, state, now)
             if driver is not None:
                 driver.note_replacements(
@@ -743,6 +790,14 @@ class MultiTenantScheduler:
                 boundary = driver.next_boundary(now)
                 if boundary is not None and boundary < horizon:
                     horizon = boundary
+            if brain_driver is not None:
+                # Decision ticks only matter while jobs are running, so
+                # the brain boundary is consulted on the busy path only
+                # (the idle branch would otherwise spin on ticks that
+                # can never decide anything).
+                boundary = brain_driver.next_boundary(now)
+                if boundary is not None and boundary < horizon:
+                    horizon = boundary
             dt = max(0.0, horizon - now)
 
             for record in running:
@@ -776,6 +831,9 @@ class MultiTenantScheduler:
         report = self._report(records, now, occupied_node_seconds, events)
         if driver is not None:
             report.fault_log = driver.summary()
+        if brain_driver is not None:
+            report.brain_log = brain_driver.summary()
+        self._brain_driver = None
         return report
 
     def _replay_payload(self, record: JobRecord) -> dict:
@@ -902,11 +960,14 @@ def compare_policies(
     seed: int = 0,
     name: str = "sched",
     faults=None,
+    brain=None,
 ) -> dict[str, SchedReport]:
     """Run the same job set under several placement policies.
 
     ``faults`` is an optional resolved ``FaultPlan`` (target ``sched``);
-    the identical storm replays under every policy.
+    the identical storm replays under every policy.  ``brain`` is an
+    optional :class:`~repro.api.config.BrainConfig` applied to every
+    policy run the same way.
     """
     if not policies:
         raise ValueError("need at least one policy")
@@ -928,6 +989,7 @@ def compare_policies(
             seed=seed,
             name=name,
             faults=faults,
+            brain=brain,
         )
         reports[scheduler.policy_name] = scheduler.run(jobs)
     return reports

@@ -1,0 +1,89 @@
+"""The brain determinism contract, at the payload byte level.
+
+Three invariants gate the subsystem (mirrored in CI's ``brain-smoke``):
+
+1. ``brain: static`` (or any alias of it) is *byte-identical* to a
+   config with no brain section at all — the inactive brain constructs
+   no driver, extends no horizon, logs no events;
+2. repeat runs of an active brain are byte-identical — decisions are
+   pure functions of the observation on the virtual clock;
+3. the CLI payload is byte-identical between ``--jobs 1`` and a
+   4-worker process pool (the policy grid fans out, the simulation
+   does not change).
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.api.config import SchedConfig
+from repro.api.facade import run_sched
+from repro.brain.drill import brain_storm_config
+from repro.sched.scheduler import payload_for_reports
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+GRAY_STORM_CONFIG = REPO / "examples" / "configs" / "gray_storm.json"
+
+
+def _payload_json(config: SchedConfig) -> str:
+    reports = list(run_sched(config).values())
+    return json.dumps(
+        payload_for_reports(reports), sort_keys=True, separators=(",", ":")
+    )
+
+
+class TestStaticIsNoBrain:
+    def test_static_byte_identical_to_unset(self):
+        data = brain_storm_config("static").to_dict()
+        with_static = SchedConfig.from_dict(data)
+        data_none = dict(data)
+        del data_none["brain"]
+        data_none["name"] = data["name"]  # same label, same bench id
+        without = SchedConfig.from_dict(data_none)
+        assert _payload_json(with_static) == _payload_json(without)
+
+    def test_alias_of_static_is_also_inactive(self):
+        data = brain_storm_config("static").to_dict()
+        data["brain"]["name"] = "noop"
+        aliased = SchedConfig.from_dict(data)
+        assert _payload_json(aliased) == _payload_json(
+            SchedConfig.from_dict(brain_storm_config("static").to_dict())
+        )
+
+
+class TestRepeatRunIdentity:
+    def test_active_brain_repeat_byte_identical(self):
+        config = brain_storm_config("health-migrate")
+        assert _payload_json(config) == _payload_json(config)
+
+    def test_throughput_brain_repeat_byte_identical(self):
+        config = brain_storm_config("throughput")
+        assert _payload_json(config) == _payload_json(config)
+
+
+class TestJobsWidthInvariance:
+    def test_cli_brain_payload_bit_identical_across_jobs(self):
+        """The acceptance bar: --jobs 1 vs --jobs 4, byte for byte."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        outputs = []
+        for jobs in ("1", "4"):
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "sched",
+                    "--config", str(GRAY_STORM_CONFIG),
+                    "--set", "brain.name=health-migrate",
+                    "--jobs", jobs, "--json",
+                ],
+                capture_output=True, text=True, timeout=300, env=env,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        brain_meta = json.loads(outputs[0])["meta"]["brain"]
+        assert all(entry["migrations"] >= 0 for entry in brain_meta.values())
+        assert any(entry["events"] > 0 for entry in brain_meta.values())

@@ -1,0 +1,98 @@
+"""CLI surface of the brain subsystem: discovery and failure modes.
+
+Every user mistake — unknown brain name, out-of-range signal knob —
+must reach the shell as one actionable ``error:`` line and exit code 2,
+never a traceback.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.api.cli import main
+from repro.brain.base import BRAINS
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+GRAY_STORM_CONFIG = REPO / "examples" / "configs" / "gray_storm.json"
+MULTI_TENANT_CONFIG = REPO / "examples" / "configs" / "multi_tenant.json"
+
+
+class TestDiscovery:
+    def test_list_brains(self, capsys):
+        assert main(["list", "brains"]) == 0
+        out = capsys.readouterr().out
+        for name in BRAINS.available():
+            assert name in out
+        assert "aliases:" in out  # e.g. rescale, health
+
+    def test_list_all_includes_brains_group(self, capsys):
+        assert main(["list"]) == 0
+        assert "brains:" in capsys.readouterr().out
+
+
+class TestFailureModes:
+    def test_unknown_brain_name(self, capsys):
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "brain.name=bogus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown brain 'bogus'" in err
+        assert "health-migrate" in err  # the registered alternatives
+
+    def test_zero_interval(self, capsys):
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "brain.name=throughput", "--set", "brain.interval=0",
+        ]) == 2
+        assert "interval must be > 0" in capsys.readouterr().err
+
+    def test_out_of_range_migrate_suspicion(self, capsys):
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "brain.name=health-migrate",
+            "--set", "brain.migrate_suspicion=1.5",
+        ]) == 2
+        assert "migrate_suspicion must be in (0, 1]" in capsys.readouterr().err
+
+    def test_zero_max_actions(self, capsys):
+        assert main([
+            "sched", "--config", str(MULTI_TENANT_CONFIG),
+            "--set", "brain.name=throughput", "--set", "brain.max_actions=0",
+        ]) == 2
+        assert "max_actions must be >= 1" in capsys.readouterr().err
+
+    def test_unknown_brain_key(self, capsys):
+        assert main([
+            "sched", "--config", str(GRAY_STORM_CONFIG),
+            "--set", "brain.name=static", "--set", "brain.wat=1",
+        ]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_failures_are_one_line_no_traceback(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        for argv in (
+            ["sched", "--config", str(GRAY_STORM_CONFIG),
+             "--set", "brain.name=bogus"],
+            ["sched", "--config", str(GRAY_STORM_CONFIG),
+             "--set", "brain.name=throughput", "--set", "brain.interval=-1"],
+            ["sched", "--config", str(GRAY_STORM_CONFIG),
+             "--set", "brain.name=health-migrate",
+             "--set", "brain.migrate_suspicion=0"],
+            ["sched", "--config", str(MULTI_TENANT_CONFIG),
+             "--set", "brain.name=static", "--set", "brain.shrink_efficiency=1"],
+            ["sched", "--config", str(MULTI_TENANT_CONFIG),
+             "--set", "brain.name=static", "--set", "brain.rollback_weight=-2"],
+        ):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True, text=True, timeout=120, env=env,
+            )
+            assert proc.returncode == 2, argv
+            assert "Traceback" not in proc.stderr, argv
+            lines = [line for line in proc.stderr.splitlines() if line.strip()]
+            assert len(lines) == 1 and lines[0].startswith("error: "), proc.stderr

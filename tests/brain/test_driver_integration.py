@@ -1,0 +1,123 @@
+"""BrainDriver through the real scheduler: the gray-storm decision replay.
+
+These tests drive the committed gray storm end to end and audit the
+decision log the driver leaves behind: structure, phase vocabulary,
+per-tick action cap (with its decline entries), and the per-job dwell
+spacing no two applied actions may violate.
+"""
+
+import pytest
+
+from repro.api.facade import run_sched
+from repro.brain.drill import brain_storm_config, run_brain_drills
+from repro.brain.log import PHASES
+
+APPLY_PHASES = ("migrate", "shrink", "grow")
+
+
+def _storm_report(brain: str, **brain_overrides):
+    data = brain_storm_config(brain).to_dict()
+    data["brain"].update(brain_overrides)
+    from repro.api.config import SchedConfig
+
+    return next(iter(run_sched(SchedConfig.from_dict(data)).values()))
+
+
+@pytest.fixture(scope="module")
+def health_report():
+    return _storm_report("health-migrate")
+
+
+class TestBrainLogStructure:
+    def test_summary_shape(self, health_report):
+        log = health_report.brain_log
+        assert log["brain"] == "health-migrate"
+        assert log["ticks"] >= 1
+        assert log["events"] == len(log["entries"])
+        assert len(log["digest"]) == 16 and int(log["digest"], 16) >= 0
+
+    def test_entries_schema(self, health_report):
+        entries = health_report.brain_log["entries"]
+        for index, entry in enumerate(entries):
+            assert entry["seq"] == index
+            assert entry["t"] >= 0
+            assert entry["phase"] in PHASES
+
+    def test_counters_match_entries(self, health_report):
+        log = health_report.brain_log
+        by_phase = {}
+        for entry in log["entries"]:
+            by_phase[entry["phase"]] = by_phase.get(entry["phase"], 0) + 1
+        assert log["migrations"] == by_phase.get("migrate", 0)
+        assert log["shrinks"] == by_phase.get("shrink", 0)
+        assert log["grows"] == by_phase.get("grow", 0)
+        assert log["declined"] == by_phase.get("decline", 0)
+
+    def test_storm_triggers_a_migration_with_reason(self, health_report):
+        migrations = [
+            e for e in health_report.brain_log["entries"] if e["phase"] == "migrate"
+        ]
+        assert migrations, "the gray storm never triggered a health migration"
+        for entry in migrations:
+            detail = entry["detail"]
+            assert "suspicion" in detail["reason"]
+            assert detail["src"] != detail["dst"]
+
+    def test_static_run_has_no_brain_log(self):
+        report = _storm_report("static")
+        assert report.brain_log is None
+
+
+class TestDriverInvariants:
+    def test_dwell_spacing_per_job(self, health_report):
+        # No job may be rescaled twice within min_dwell virtual seconds
+        # (120 s on the default config).
+        applied = {}
+        for entry in health_report.brain_log["entries"]:
+            if entry["phase"] in APPLY_PHASES:
+                applied.setdefault(entry["job"], []).append(entry["t"])
+        assert applied
+        for job, times in applied.items():
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            assert all(gap >= 120.0 - 1e-9 for gap in gaps), (job, times)
+
+    def test_action_cap_declines_overflow(self):
+        # The default storm tick at t=120 applies two shrinks; capping
+        # max_actions at 1 must decline the overflow, not drop it
+        # silently.
+        report = _storm_report("health-migrate", max_actions=1)
+        log = report.brain_log
+        assert log["declined"] >= 1
+        declines = [e for e in log["entries"] if e["phase"] == "decline"]
+        assert any("cap" in e["detail"]["reason"] for e in declines)
+
+    def test_tick_entries_record_gray_nodes(self, health_report):
+        ticks = [
+            e for e in health_report.brain_log["entries"] if e["phase"] == "tick"
+        ]
+        assert ticks
+        for entry in ticks:
+            detail = entry["detail"]
+            assert detail["jobs"] >= 0
+            # Idle ticks (no running jobs) skip the observation and so
+            # record no gray set.
+            if detail["jobs"]:
+                assert detail["gray"] == sorted(detail["gray"])
+
+
+class TestDrillScorecard:
+    def test_drill_rows_cover_requested_brains(self):
+        results = run_brain_drills(["static", "health-migrate"])
+        assert [r["brain"] for r in results] == ["static", "health-migrate"]
+        static, brain = results
+        assert static["brain_digest"] is None
+        assert brain["brain_digest"]
+        # The PR's acceptance bar, at the API level.
+        assert brain["storm_goodput"] > static["storm_goodput"]
+        assert brain["mean_jct_s"] < static["mean_jct_s"]
+        assert brain["usd_per_kiter"] < static["usd_per_kiter"]
+        assert brain["fairness"] >= static["fairness"]
+
+    def test_aliases_resolve_in_drills(self):
+        results = run_brain_drills(["health"])
+        assert results[0]["brain"] == "health-migrate"

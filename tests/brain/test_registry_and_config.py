@@ -1,0 +1,119 @@
+"""Brain registry, Action schema, and BrainConfig validation.
+
+The registry contract mirrors every other pluggable subsystem: built-in
+names and aliases resolve, ``build_brain`` constructs from config, and
+an invalid ``brain`` section fails at config-load time with one clear
+``ConfigError`` — never mid-simulation.
+"""
+
+import pytest
+
+from repro.api.config import BrainConfig, ConfigError, SchedConfig
+from repro.brain.base import ACTION_KINDS, BRAINS, Action, build_brain
+from repro.brain.builtins import HealthMigrateBrain, StaticBrain, ThroughputBrain
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BRAINS.available()) == {"static", "throughput", "health-migrate"}
+
+    def test_aliases_resolve(self):
+        assert BRAINS.canonical("none") == "static"
+        assert BRAINS.canonical("noop") == "static"
+        assert BRAINS.canonical("rescale") == "throughput"
+        assert BRAINS.canonical("health") == "health-migrate"
+        assert BRAINS.canonical("migrate") == "health-migrate"
+
+    def test_build_brain_constructs_by_name(self):
+        assert isinstance(build_brain(BrainConfig(name="static")), StaticBrain)
+        assert isinstance(build_brain(BrainConfig(name="rescale")), ThroughputBrain)
+        assert isinstance(
+            build_brain(BrainConfig(name="health-migrate")), HealthMigrateBrain
+        )
+
+    def test_only_static_is_inactive(self):
+        assert StaticBrain.active is False
+        assert ThroughputBrain.active is True
+        assert HealthMigrateBrain.active is True
+
+
+class TestAction:
+    def test_known_kinds(self):
+        assert set(ACTION_KINDS) == {"migrate", "shrink", "grow"}
+        for kind in ACTION_KINDS:
+            assert Action(kind, "job").kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown action kind"):
+            Action("explode", "job")
+
+    def test_frozen(self):
+        action = Action("migrate", "job", src=1, dst=2)
+        with pytest.raises(AttributeError):
+            action.dst = 3
+
+
+def _sched_data(brain: dict) -> dict:
+    return {
+        "name": "brain-cfg",
+        "cluster": {"num_nodes": 2},
+        "jobs": [{"name": "a", "iterations": 10}],
+        "brain": brain,
+    }
+
+
+class TestBrainConfigValidation:
+    def test_defaults_validate(self):
+        config = SchedConfig.from_dict(_sched_data({"name": "health-migrate"}))
+        assert config.brain.name == "health-migrate"
+        assert config.brain.interval == 60.0
+
+    def test_round_trips(self):
+        data = _sched_data({"name": "throughput", "interval": 30.0, "max_actions": 4})
+        config = SchedConfig.from_dict(data)
+        again = SchedConfig.from_dict(config.to_dict())
+        assert again == config
+        assert again.to_dict()["brain"]["interval"] == 30.0
+
+    @pytest.mark.parametrize(
+        "brain, fragment",
+        [
+            ({"name": "bogus"}, "unknown brain"),
+            ({"name": "static", "interval": 0}, "interval must be > 0"),
+            ({"name": "static", "interval": -5}, "interval must be > 0"),
+            ({"name": "static", "min_dwell": -1}, "min_dwell must be >= 0"),
+            (
+                {"name": "static", "migrate_suspicion": 0},
+                "migrate_suspicion must be in (0, 1]",
+            ),
+            (
+                {"name": "static", "migrate_suspicion": 1.5},
+                "migrate_suspicion must be in (0, 1]",
+            ),
+            (
+                {"name": "static", "grow_efficiency": 0},
+                "grow_efficiency must be in (0, 1]",
+            ),
+            (
+                {"name": "static", "shrink_efficiency": 1.0},
+                "shrink_efficiency must be in [0, 1)",
+            ),
+            (
+                {"name": "static", "rollback_weight": -0.1},
+                "rollback_weight must be >= 0",
+            ),
+            ({"name": "static", "max_actions": 0}, "max_actions must be >= 1"),
+        ],
+    )
+    def test_invalid_sections_fail_at_load(self, brain, fragment):
+        with pytest.raises(ConfigError) as excinfo:
+            SchedConfig.from_dict(_sched_data(brain))
+        assert fragment in str(excinfo.value)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            SchedConfig.from_dict(_sched_data({"name": "static", "wat": 1}))
+
+    def test_alias_accepted_in_config(self):
+        config = SchedConfig.from_dict(_sched_data({"name": "health"}))
+        assert build_brain(config.brain).active

@@ -16,7 +16,7 @@ import pytest
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 DOCS = REPO / "docs"
 PAGES = ("architecture.md", "quickstart.md", "scenarios.md", "traces.md",
-         "faults.md")
+         "faults.md", "brain.md")
 
 #: Documented commands this test does NOT execute, mapped to where they
 #: are exercised instead.  Keep the rationale honest: if a command stops
@@ -92,13 +92,17 @@ class TestDocsExist:
         assert "scenarios.md" in (DOCS / "traces.md").read_text()
         assert "faults.md" in (DOCS / "scenarios.md").read_text()
         assert "scenarios.md" in (DOCS / "faults.md").read_text()
+        assert "brain.md" in (DOCS / "scenarios.md").read_text()
+        assert "brain.md" in (DOCS / "faults.md").read_text()
+        assert "faults.md" in (DOCS / "brain.md").read_text()
+        assert "scenarios.md" in (DOCS / "brain.md").read_text()
 
     def test_architecture_has_mermaid_subsystem_map(self):
         text = (DOCS / "architecture.md").read_text()
         assert "```mermaid" in text
         for subsystem in ("repro.api", "repro.sched", "repro.elastic",
                           "repro.comm", "repro.cluster", "repro.perf",
-                          "repro.faults"):
+                          "repro.faults", "repro.brain"):
             assert subsystem in text, subsystem
 
     def test_docs_reference_only_existing_paths(self):

@@ -8,11 +8,12 @@ from repro.experiments.runner import EXPERIMENTS, FAST_AWARE, main
 class TestRunner:
     def test_all_experiments_registered(self):
         names = [name for name, _ in EXPERIMENTS]
-        assert len(names) == 15
+        assert len(names) == 16
         for expected in ("Table 1", "Fig. 1", "Fig. 6", "Fig. 7", "Fig. 8",
                          "Fig. 9", "Fig. 10", "Table 2", "Table 3",
                          "Table 4", "Table 5", "Elastic churn",
-                         "Multi-tenant sched", "Fault drills"):
+                         "Multi-tenant sched", "Fault drills",
+                         "Brain autotune"):
             assert any(expected in n for n in names), expected
 
     def test_only_filter_runs_one(self, capsys):

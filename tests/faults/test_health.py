@@ -162,3 +162,79 @@ class TestSummaryAndValidation:
             return out
 
         assert play() == play()
+
+
+class TestThresholdBoundary:
+    """The exact-threshold and mid-window edges the brain reads through."""
+
+    def test_score_exactly_at_threshold_quarantines(self):
+        # Two same-instant crashes on a 2.0 threshold: score == threshold
+        # exactly.  The non-quarantine path is score < threshold, so the
+        # boundary itself quarantines.
+        ledger = _ledger(threshold=2.0 * KIND_WEIGHTS["node-crash"])
+        assert ledger.observe(0, 10.0, "node-crash") is False
+        assert ledger.observe(0, 10.0, "node-crash") is True
+        assert ledger.is_quarantined(0)
+
+    def test_score_epsilon_below_threshold_does_not(self):
+        ledger = _ledger(threshold=2.0 * KIND_WEIGHTS["node-crash"] + 1e-9)
+        ledger.observe(0, 10.0, "node-crash")
+        assert ledger.observe(0, 10.0, "node-crash") is False
+        assert not ledger.is_quarantined(0)
+
+    def test_no_probe_due_during_active_window(self):
+        ledger = _ledger(threshold=1.0, cooldown=100.0)
+        ledger.observe(0, 0.0, "node-crash")
+        assert ledger.is_quarantined(0)
+        assert ledger.due_probes(99.9) == []
+        assert ledger.due_probes(100.0) == [0]
+
+    def test_observation_during_window_keeps_probe_schedule(self):
+        # A fault landing mid-quarantine raises suspicion but must not
+        # push the probe out (or re-count a quarantine).
+        ledger = _ledger(threshold=1.0, cooldown=100.0)
+        ledger.observe(0, 0.0, "node-crash")
+        boundary = ledger.next_boundary(1.0)
+        assert ledger.observe(0, 50.0, "gray-net") is False
+        assert ledger.next_boundary(51.0) == boundary
+        assert ledger.quarantines == 1
+
+    def test_probe_at_exact_due_time_halves_and_releases(self):
+        ledger = _ledger(threshold=1.0, half_life=1e9, cooldown=100.0)
+        ledger.observe(0, 0.0, "node-crash")
+        score = ledger.probe(0, 100.0)
+        assert not ledger.is_quarantined(0)
+        assert score == pytest.approx(KIND_WEIGHTS["node-crash"] / 2.0)
+
+
+class TestConfigLoadBoundary:
+    """Health knobs are rejected at config load, before any simulation."""
+
+    def test_zero_half_life_rejected_by_plan(self):
+        from repro.faults.plan import FaultPlan
+        from repro.faults.registry import FaultError
+
+        with pytest.raises(FaultError, match="health_half_life must be > 0"):
+            FaultPlan.from_config(
+                {"events": [{"kind": "node-crash", "at": 10}],
+                 "health_half_life": 0},
+                seed=7,
+                target="sched",
+            )
+
+    def test_zero_half_life_rejected_by_sched_config(self):
+        # Surfaces as FaultError (a ValueError the CLI maps to one
+        # ``error:`` line + exit 2), raised while the section validates.
+        from repro.api.config import SchedConfig
+
+        data = {
+            "name": "hl",
+            "cluster": {"num_nodes": 2},
+            "jobs": [{"name": "a", "iterations": 10}],
+            "faults": {
+                "events": [{"kind": "node-crash", "at": 10}],
+                "health_half_life": 0.0,
+            },
+        }
+        with pytest.raises(ValueError, match="health_half_life must be > 0"):
+            SchedConfig.from_dict(data)
