@@ -1,0 +1,154 @@
+"""CI gate on serve-daemon crash-safety: the kill-anywhere contract.
+
+Compares a freshly produced ``BENCH_serve_run.json`` against the
+committed ``results/BENCH_serve.json`` baseline and enforces the serve
+subsystem's acceptance bar:
+
+* **kill-anywhere** (hard, every host) — every injection point in the
+  drill matrix recovered to a byte-identical payload
+  (``payload_match``) with zero acknowledged submissions lost
+  (``lost_acked_total == 0``).  This is the durability contract itself;
+* **recovery determinism** (hard, every host) — ``meta.deterministic``
+  must be true (two independent uninterrupted runs produced the same
+  payload bytes) and ``meta.reference_digest`` must equal the committed
+  baseline's.  A digest drift means the daemon now schedules the same
+  day differently, which must be a deliberate baseline update, never an
+  accident;
+* **recovery latency** (hard, generous) — the worst-case restart cost
+  (journal repair + snapshot load + replay) must stay under
+  ``--max-recovery-s``.  Wall-clock, so the default ceiling is set far
+  above any healthy run; it exists to catch a lost-snapshot path that
+  silently degrades every restart to replay-from-genesis;
+* **recovery-time drift** (advisory) — a worst-case recovery slower
+  than the committed baseline by more than ``--threshold``x only prints
+  a note (absolute restart cost is host-specific).
+
+Usage (as the CI ``serve-smoke`` job does)::
+
+    python -m pytest benchmarks/bench_serve.py -q --benchmark-disable
+    python benchmarks/check_serve_regression.py \
+        --baseline results/BENCH_serve.json \
+        --current results/BENCH_serve_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+META_KEYS = (
+    "deterministic",
+    "reference_digest",
+    "all_match",
+    "lost_acked_total",
+    "max_recovery_s",
+)
+
+
+def load_payload(path: pathlib.Path) -> dict:
+    payload = json.loads(path.read_text())
+    meta = payload.get("meta", {})
+    for key in META_KEYS:
+        if key not in meta:
+            raise SystemExit(f"{path}: bench payload meta lacks {key!r}")
+    for key in ("columns", "rows"):
+        if key not in payload:
+            raise SystemExit(f"{path}: bench payload lacks {key!r}")
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True,
+                        help="committed BENCH_serve.json")
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="freshly measured BENCH_serve_run.json")
+    parser.add_argument("--max-recovery-s", type=float, default=5.0,
+                        help="hard ceiling on worst-case recovery wall time")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="recovery-time slowdown vs the committed "
+                             "baseline that triggers the advisory note")
+    args = parser.parse_args(argv)
+
+    base = load_payload(args.baseline)
+    cur = load_payload(args.current)
+    failures = []
+
+    columns = cur["columns"]
+    idx = {column: i for i, column in enumerate(columns)}
+    bad_points = [
+        row[idx["point"]]
+        for row in cur["rows"]
+        if not row[idx["payload_match"]] or row[idx["lost_acked"]]
+    ]
+    if bad_points or not cur["meta"]["all_match"] or cur["meta"]["lost_acked_total"]:
+        failures.append(f"kill-anywhere contract broken at: {bad_points}")
+        print(
+            "FAIL: recovery lost acknowledged work or changed payload "
+            f"bytes at {bad_points} (lost_acked_total="
+            f"{cur['meta']['lost_acked_total']})"
+        )
+    else:
+        print(
+            f"ok: {len(cur['rows'])} injection point(s) recovered "
+            "byte-identically with zero acknowledged submissions lost"
+        )
+
+    if not cur["meta"]["deterministic"]:
+        failures.append("deterministic is false: two reference runs diverged")
+        print("FAIL: two uninterrupted serve runs produced different payloads")
+    else:
+        print("ok: independent uninterrupted runs are bit-identical")
+
+    base_digest = base["meta"]["reference_digest"]
+    cur_digest = cur["meta"]["reference_digest"]
+    if cur_digest != base_digest:
+        failures.append(
+            f"reference payload digest drifted: {cur_digest} != committed "
+            f"{base_digest}"
+        )
+        print(
+            f"FAIL: reference payload digest {cur_digest} != committed "
+            f"{base_digest} — the daemon schedules the committed day "
+            "differently (baseline update must be deliberate)"
+        )
+    else:
+        print(f"ok: reference payload digest pinned ({cur_digest})")
+
+    worst = cur["meta"]["max_recovery_s"]
+    if worst > args.max_recovery_s:
+        failures.append(
+            f"worst-case recovery {worst:.3f}s over the "
+            f"{args.max_recovery_s}s ceiling"
+        )
+        print(
+            f"FAIL: worst-case recovery {worst:.3f}s exceeds the "
+            f"{args.max_recovery_s}s ceiling — restart likely degraded to "
+            "replay-from-genesis"
+        )
+    else:
+        print(
+            f"ok: worst-case recovery {worst * 1000:.1f} ms "
+            f"(ceiling {args.max_recovery_s}s)"
+        )
+
+    base_worst = base["meta"]["max_recovery_s"]
+    if base_worst > 0 and worst > base_worst * args.threshold:
+        print(
+            f"note: worst-case recovery {worst * 1000:.1f} ms is "
+            f">{args.threshold:.0f}x the committed baseline "
+            f"({base_worst * 1000:.1f} ms) — host noise or a real slowdown "
+            "(advisory only)"
+        )
+
+    if failures:
+        print(f"FAIL: {len(failures)} serve gate(s) failed")
+        return 1
+    print("ok: serve crash-safety gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

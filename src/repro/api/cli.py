@@ -9,9 +9,16 @@ Subcommands::
     repro trace gen --out PATH [--num-jobs N] [--seed S] [--duration-hours H]
               [--payload-fraction F] [--format jsonl|csv]
     repro trace validate PATH [--json]
+    repro serve --config cfg.json [--state-dir DIR] [--script PATH | --trace PATH
+              | --socket PATH] [--drill] [--kill-at POINT] [--set key=value ...]
+    repro submit --socket PATH (--job JSON | --op JSON | --file PATH)
+              [--retries N] [--timeout S] [--backoff S]
     repro list [schemes|compressors|models|clusters|policies|backends|experiments]
     repro experiments [--only SUBSTR] [--fast] [--backend NAME] [--jobs N]
 
+``serve`` runs the crash-safe always-on scheduler daemon (write-ahead
+journal + snapshots under ``--state-dir``; see ``docs/serve.md``) and
+``submit`` is its unix-socket client;
 ``run`` executes one declarative :class:`~repro.api.config.RunConfig`;
 ``sched`` simulates a multi-tenant
 :class:`~repro.api.config.SchedConfig` scenario (one run per configured
@@ -38,8 +45,10 @@ from repro.api import registry
 from repro.api.config import (
     RunConfig,
     SchedConfig,
+    ServeConfig,
     apply_overrides,
     apply_sched_overrides,
+    apply_serve_overrides,
 )
 from repro.api.facade import preflight, run_sched
 from repro.api.facade import run as run_facade
@@ -156,6 +165,155 @@ def _build_parser() -> argparse.ArgumentParser:
     val_p.add_argument("path", help="trace path (.jsonl file or CSV directory)")
     val_p.add_argument(
         "--json", action="store_true", help="print the stats as JSON"
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the crash-safe always-on scheduler daemon"
+    )
+    serve_p.add_argument(
+        "--config", required=True, help="path to a ServeConfig JSON file"
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory (journal + snapshots); restarting "
+        "against the same directory recovers; default: a fresh temp dir",
+    )
+    serve_p.add_argument(
+        "--script",
+        default=None,
+        metavar="PATH",
+        help="JSON-lines op script to drive the daemon with ('-' = stdin; "
+        "the default input mode)",
+    )
+    serve_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="derive the op stream from a cluster trace (tick to each "
+        "arrival, submit, final drain)",
+    )
+    serve_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --trace: only the first N jobs",
+    )
+    serve_p.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve JSON-lines ops on a unix socket instead of a script "
+        "(clients: `repro submit --socket PATH`)",
+    )
+    serve_p.add_argument(
+        "--drill",
+        action="store_true",
+        help="run the kill-anywhere recovery drill over the op stream: "
+        "crash at each injection point, restart, require the recovered "
+        "payload byte-identical with zero acknowledged submissions lost",
+    )
+    serve_p.add_argument(
+        "--kill-at",
+        action="append",
+        default=[],
+        metavar="POINT",
+        help="injection point(s) like tick:2 / snapshot:1 / append:3 — "
+        "with --drill the points to drill; without it, crash the daemon "
+        "there (restart with the same --state-dir to recover)",
+    )
+    serve_p.add_argument(
+        "--kill-mode",
+        choices=("raise", "sigkill"),
+        default="sigkill",
+        help="how --kill-at dies: a real SIGKILL (default) or a Python "
+        "exception (in-process harnesses)",
+    )
+    serve_p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the admission backlog bound (--set queue_limit=N)",
+    )
+    serve_p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the snapshot cadence in ops (--set snapshot_every=N)",
+    )
+    serve_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a config entry, e.g. --set cluster.num_nodes=4",
+    )
+    serve_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the BENCH-schema JSON payload instead of the table",
+    )
+    serve_p.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the JSON payload here"
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit jobs/ops to a running serve daemon"
+    )
+    submit_p.add_argument(
+        "--socket", required=True, metavar="PATH", help="the daemon's unix socket"
+    )
+    submit_p.add_argument(
+        "--job",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help="inline job mapping to submit (repeatable), e.g. "
+        '\'{"name": "j1", "iterations": 50}\'',
+    )
+    submit_p.add_argument(
+        "--op",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help="raw op mapping (repeatable), e.g. '{\"op\": \"tick\"}'",
+    )
+    submit_p.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="JSON-lines file of ops (or bare job mappings, auto-wrapped "
+        "in submit ops)",
+    )
+    submit_p.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        metavar="N",
+        help="connect attempts before giving up (default: 5)",
+    )
+    submit_p.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="per-op socket timeout in seconds (default: 5)",
+    )
+    submit_p.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="base connect-retry backoff in seconds, doubled per attempt "
+        "with jitter (default: 0.05)",
+    )
+    submit_p.add_argument(
+        "--json", action="store_true", help="print each ack as JSON (default)"
     )
 
     list_p = sub.add_parser("list", help="enumerate registered components")
@@ -390,6 +548,187 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 2
 
 
+def _serve_ops(args: argparse.Namespace) -> list[dict]:
+    """The op stream for a scripted/drilled serve invocation."""
+    from repro.serve import ops_from_script, ops_from_trace
+
+    if args.trace is not None and args.script is not None:
+        raise ValueError("--trace and --script are mutually exclusive")
+    if args.trace is not None:
+        return ops_from_trace(args.trace, limit=args.limit)
+    if args.script is not None and args.script != "-":
+        path = pathlib.Path(args.script)
+        if not path.exists():
+            raise ValueError(f"ops script not found: {path}")
+        return ops_from_script(path.read_text().splitlines())
+    return ops_from_script(sys.stdin.read().splitlines())
+
+
+def _emit_payload(payload: dict, args: argparse.Namespace) -> None:
+    """Shared --json/--out emission (same contract as run/sched)."""
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(payload["text"], end="")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        if not args.json:
+            print(f"[payload written to {out}]")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Same error contract as `run`/`sched`: user mistakes (bad config,
+    # malformed ops, rejected submissions in scripted mode) exit 2 with
+    # one line; anything past that is a real bug and keeps its traceback.
+    import signal
+    import tempfile
+
+    from repro.serve import (
+        DEFAULT_POINTS,
+        RecoveryDrill,
+        ServeRuntime,
+        parse_kill_spec,
+        run_script,
+        serve_socket,
+    )
+    from repro.serve.journal import canonical_json
+
+    try:
+        config = ServeConfig.from_file(args.config)
+        overrides = list(args.overrides)
+        if args.queue_limit is not None:
+            overrides.append(f"queue_limit={args.queue_limit}")
+        if args.snapshot_every is not None:
+            overrides.append(f"snapshot_every={args.snapshot_every}")
+        if overrides:
+            config = apply_serve_overrides(config, overrides)
+        for point in args.kill_at:
+            parse_kill_spec(point)
+        if args.socket is not None and (args.drill or args.kill_at):
+            raise ValueError("--socket cannot be combined with --drill/--kill-at")
+        if len(args.kill_at) > 1 and not args.drill:
+            raise ValueError("without --drill, give at most one --kill-at point")
+        state_dir = args.state_dir or tempfile.mkdtemp(prefix="repro-serve-")
+
+        if args.drill:
+            ops = _serve_ops(args)
+            points = tuple(args.kill_at) or DEFAULT_POINTS
+            drill = RecoveryDrill(config, ops, work_dir=state_dir, points=points)
+            result = drill.run()
+        else:
+            runtime = ServeRuntime(
+                config,
+                state_dir,
+                kill_plan=(args.kill_at[0] if args.kill_at else None),
+                kill_mode=args.kill_mode,
+            )
+            try:
+                previous = signal.signal(signal.SIGTERM, runtime.request_drain)
+            except ValueError:  # pragma: no cover - non-main-thread harness
+                previous = None
+            try:
+                if args.socket is not None:
+                    serve_socket(runtime, args.socket)
+                else:
+                    run_script(runtime, (canonical_json(op) for op in _serve_ops(args)))
+            finally:
+                if previous is not None:
+                    signal.signal(signal.SIGTERM, previous)
+            payload = runtime.finalize()
+            runtime.close()
+            _emit_payload(payload, args)
+            return 0
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Drill output: one verdict line per injection point, machine tail.
+    for outcome in result["points"]:
+        status = "ok" if outcome["payload_match"] and not outcome["lost_acked"] else "FAIL"
+        print(
+            f"{status}: kill at {outcome['point']}: payload_match="
+            f"{outcome['payload_match']} lost_acked={outcome['lost_acked']} "
+            f"replayed={outcome['replayed']} dedup={outcome['deduplicated']} "
+            f"recovery_s={outcome['recovery_s']:.3f}"
+        )
+    print(
+        f"drill: {len(result['points'])} point(s), all_match={result['all_match']}, "
+        f"lost_acked_total={result['lost_acked_total']}"
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[drill report written to {out}]")
+    return 0 if result["all_match"] and result["lost_acked_total"] == 0 else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    # Client-side user errors (bad JSON, unreachable daemon, rejected
+    # submissions) all exit 2 with one line.
+    from repro.serve import SubmitError, send_ops
+
+    try:
+        ops: list[dict] = []
+        for raw in args.job:
+            try:
+                job = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"--job is not valid JSON: {exc}") from exc
+            if not isinstance(job, dict):
+                raise ValueError(f"--job must be a JSON object, got {raw!r}")
+            ops.append({"op": "submit", "job": job})
+        if args.file is not None:
+            path = pathlib.Path(args.file)
+            if not path.exists():
+                raise ValueError(f"ops file not found: {path}")
+            for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path} line {lineno}: invalid JSON: {exc}"
+                    ) from exc
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"{path} line {lineno}: each line must be a JSON object"
+                    )
+                # Bare job mappings are sugar for submit ops.
+                ops.append(entry if "op" in entry else {"op": "submit", "job": entry})
+        for raw in args.op:
+            try:
+                op = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"--op is not valid JSON: {exc}") from exc
+            if not isinstance(op, dict):
+                raise ValueError(f"--op must be a JSON object, got {raw!r}")
+            ops.append(op)
+        if not ops:
+            raise ValueError("submit needs at least one --job, --op, or --file")
+        acks = send_ops(
+            args.socket,
+            ops,
+            retries=args.retries,
+            backoff=args.backoff,
+            timeout=args.timeout,
+        )
+        for ack in acks:
+            if not ack.get("ok"):
+                raise ValueError(ack.get("error", "op rejected"))
+    except (SubmitError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for ack in acks:
+        print(json.dumps(ack, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -402,6 +741,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sched(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "list":
         return _cmd_list(args.group)
     if args.command == "experiments":

@@ -739,6 +739,154 @@ class SchedConfig:
         return self
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """The always-on scheduler daemon (``python -m repro serve``).
+
+    Unlike :class:`SchedConfig` — one pre-declared batch, one policy
+    *comparison* — a serve config describes a single live service: one
+    placement policy, jobs submitted while the clock runs, durable state
+    under ``--state-dir``.  See ``docs/serve.md``.
+    """
+
+    #: Service label (non-empty); becomes the ``serve_<name>`` bench id.
+    name: str = "serve"
+    #: Seeds the fault plan; the service itself is deterministic.
+    seed: int = 0
+    #: The shared cluster the daemon schedules onto.
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    #: The single placement policy the live service runs.
+    policy: str = "bin-pack"
+    #: Optional fault plan perturbing the live cluster.
+    faults: FaultsConfig | None = None
+    #: Optional autotuning brain re-planning resources online.
+    brain: BrainConfig | None = None
+    #: Admission backlog bound (pending + queued); submissions beyond it
+    #: are shed with a structured ``queue full`` rejection.
+    queue_limit: int = 64
+    #: Snapshot cadence: persist engine state every N applied ops
+    #: (bounds journal-replay length on recovery).
+    snapshot_every: int = 8
+    #: Virtual seconds one ``tick`` op advances when no ``until`` given.
+    tick_seconds: float = 300.0
+    #: Event-loop iterations allowed per tick/drain (runaway guard).
+    max_events_per_tick: int = 10_000
+
+    @classmethod
+    def from_dict(cls, data: dict, *, validate: bool = True) -> "ServeConfig":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"serve config must be a mapping, got {type(data).__name__}"
+            )
+        _check_keys("serve", data, cls)
+        kwargs: dict[str, Any] = {
+            k: data[k]
+            for k in (
+                "name", "seed", "policy", "queue_limit", "snapshot_every",
+                "tick_seconds", "max_events_per_tick",
+            )
+            if k in data
+        }
+        if "cluster" in data:
+            kwargs["cluster"] = _from_dict("cluster", data["cluster"], ClusterConfig)
+        if data.get("faults") is not None:
+            kwargs["faults"] = _faults_from_dict(data["faults"])
+        if data.get("brain") is not None:
+            kwargs["brain"] = _from_dict("brain", data["brain"], BrainConfig)
+        config = cls(**kwargs)
+        if validate:
+            config.validate()
+        return config
+
+    @classmethod
+    def from_json(cls, text: str, *, validate: bool = True) -> "ServeConfig":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"invalid JSON serve config: {exc}") from exc
+        return cls.from_dict(data, validate=validate)
+
+    @classmethod
+    def from_file(
+        cls, path: str | pathlib.Path, *, validate: bool = True
+    ) -> "ServeConfig":
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise ConfigError(f"config file not found: {path}")
+        return cls.from_json(path.read_text(), validate=validate)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": dataclasses.asdict(self.cluster),
+            "policy": self.policy,
+            **(
+                {"faults": _faults_to_dict(self.faults)}
+                if self.faults is not None
+                else {}
+            ),
+            **(
+                {"brain": dataclasses.asdict(self.brain)}
+                if self.brain is not None
+                else {}
+            ),
+            "queue_limit": self.queue_limit,
+            "snapshot_every": self.snapshot_every,
+            "tick_seconds": self.tick_seconds,
+            "max_events_per_tick": self.max_events_per_tick,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    def validate(self) -> "ServeConfig":
+        from repro.api import registry
+
+        if not self.name:
+            raise ConfigError("serve 'name' must be a non-empty string")
+        if self.cluster.instance not in registry.CLUSTERS:
+            raise ConfigError(
+                f"unknown cluster instance {self.cluster.instance!r}; "
+                f"registered: {', '.join(registry.CLUSTERS.available())}"
+            )
+        if self.cluster.num_nodes < 1 or self.cluster.gpus_per_node < 1:
+            raise ConfigError("cluster num_nodes and gpus_per_node must be >= 1")
+        from repro.sched.policies import POLICIES
+
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; "
+                f"registered: {', '.join(POLICIES.available())}"
+            )
+        if self.queue_limit < 1:
+            raise ConfigError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.snapshot_every < 1:
+            raise ConfigError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if not self.tick_seconds > 0:
+            raise ConfigError(
+                f"tick_seconds must be > 0, got {self.tick_seconds}"
+            )
+        if self.max_events_per_tick < 1:
+            raise ConfigError(
+                f"max_events_per_tick must be >= 1, got {self.max_events_per_tick}"
+            )
+        if self.faults is not None:
+            _validate_faults(self.faults, seed=self.seed, target="sched")
+        if self.brain is not None:
+            _validate_brain(self.brain)
+        return self
+
+
+def apply_serve_overrides(
+    config: ServeConfig, overrides: Sequence[str]
+) -> ServeConfig:
+    """Apply dotted overrides to a serve config and re-validate."""
+    return ServeConfig.from_dict(_apply_overrides_data(config.to_dict(), overrides))
+
+
 def _validate_exec(config: ExecConfig) -> None:
     """Shared exec-section validation for run and sched configs."""
     from repro.exec.backend import BACKENDS, START_METHODS
@@ -849,6 +997,8 @@ __all__ = [
     "RunConfig",
     "JobConfig",
     "SchedConfig",
+    "ServeConfig",
     "apply_overrides",
     "apply_sched_overrides",
+    "apply_serve_overrides",
 ]

@@ -1,0 +1,100 @@
+"""``repro submit``: the daemon's JSON-lines unix-socket client.
+
+Transport policy lives here — connect retries with exponential backoff
+plus seeded jitter, per-op socket timeouts, and a typed
+:class:`SubmitError` when the budget runs out — so callers (the CLI,
+the drills, tests) get one consistent at-least-once sender: resend
+everything unacknowledged; the daemon's op-id dedup turns that into
+exactly-once apply.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import socket as socketlib
+
+from repro.serve.journal import canonical_json
+
+
+class SubmitError(ValueError):
+    """The client could not deliver ops (a user-facing, exit-2 error)."""
+
+
+def connect(
+    socket_path: str | pathlib.Path,
+    *,
+    retries: int = 5,
+    backoff: float = 0.05,
+    timeout: float = 5.0,
+    seed: int = 0,
+) -> socketlib.socket:
+    """Connect with exponential backoff + jitter; raises :class:`SubmitError`.
+
+    Attempt *k* sleeps ``backoff * 2**k * (1 + U[0,1))`` — the classic
+    decorrelation so a herd of clients retrying against a restarting
+    daemon does not stampede it on the same schedule.
+    """
+    rng = random.Random(seed)
+    last_error: Exception | None = None
+    for attempt in range(max(1, retries)):
+        sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(socket_path))
+            return sock
+        except OSError as exc:
+            last_error = exc
+            sock.close()
+            if attempt + 1 < max(1, retries):
+                delay = backoff * (2**attempt) * (1.0 + rng.random())
+                import time
+
+                time.sleep(delay)
+    raise SubmitError(
+        f"could not connect to daemon socket {socket_path} after "
+        f"{max(1, retries)} attempt(s): {last_error}"
+    )
+
+
+def send_ops(
+    socket_path: str | pathlib.Path,
+    ops: list[dict],
+    *,
+    retries: int = 5,
+    backoff: float = 0.05,
+    timeout: float = 5.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Send ops, one JSON line each; returns the daemon's acks in order.
+
+    A dropped connection mid-stream raises :class:`SubmitError` naming
+    the first unacknowledged op, so the caller knows exactly where an
+    at-least-once resend must restart.
+    """
+    sock = connect(
+        socket_path, retries=retries, backoff=backoff, timeout=timeout, seed=seed
+    )
+    acks: list[dict] = []
+    try:
+        with sock, sock.makefile("rwb") as stream:
+            for op in ops:
+                stream.write((canonical_json(op) + "\n").encode("utf-8"))
+                stream.flush()
+                raw = stream.readline()
+                if not raw:
+                    raise SubmitError(
+                        f"daemon closed the connection before acknowledging op "
+                        f"{len(acks) + 1} of {len(ops)}"
+                    )
+                acks.append(json.loads(raw.decode("utf-8")))
+    except OSError as exc:
+        raise SubmitError(
+            f"lost the daemon connection after {len(acks)} of {len(ops)} "
+            f"ack(s): {exc}"
+        ) from exc
+    return acks
+
+
+__all__ = ["SubmitError", "connect", "send_ops"]

@@ -16,7 +16,7 @@ import pytest
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 DOCS = REPO / "docs"
 PAGES = ("architecture.md", "quickstart.md", "scenarios.md", "traces.md",
-         "faults.md", "brain.md")
+         "faults.md", "brain.md", "serve.md")
 
 #: Documented commands this test does NOT execute, mapped to where they
 #: are exercised instead.  Keep the rationale honest: if a command stops
@@ -50,6 +50,37 @@ KNOWN_EXERCISED = {
     "python -m repro run --config examples/configs/fault_drill.json --jobs 4 --json": (
         "CI faults-smoke job + tests/faults/test_cli_faults.py "
         "(jobs-width byte parity)"
+    ),
+    # The socket daemon blocks until stopped, so the live-submission
+    # trio can't run inline; the exact transport round trip (daemon
+    # thread + client submit/tick/status/stop) runs in
+    # tests/serve/test_socket.py.
+    "python -m repro serve --config examples/configs/serve_smoke.json "
+    "--socket /tmp/repro.sock": "tests/serve/test_socket.py (daemon thread)",
+    "python -m repro submit --socket /tmp/repro.sock --job "
+    "'{\"name\": \"late-job\", \"profile\": \"resnet50\", \"iterations\": 200}'": (
+        "tests/serve/test_socket.py (send_ops round trip)"
+    ),
+    "python -m repro submit --socket /tmp/repro.sock --op '{\"op\": \"tick\"}' "
+    "--op '{\"op\": \"status\"}'": "tests/serve/test_socket.py (op stream)",
+    # The SIGKILL-then-recover sequence needs a process that dies and a
+    # second process sharing its state dir — the CI serve-smoke job runs
+    # exactly these commands and byte-compares the recovered payload;
+    # the in-process equivalent is tests/serve/test_recovery.py.
+    "python -m repro serve --config examples/configs/serve_smoke.json "
+    "--trace examples/traces/sample_day.jsonl --limit 12 "
+    "--state-dir /tmp/serve-day --kill-at tick:2 --kill-mode sigkill": (
+        "CI serve-smoke job (real SIGKILL + restart)"
+    ),
+    "python -m repro serve --config examples/configs/serve_smoke.json "
+    "--trace examples/traces/sample_day.jsonl --limit 12 "
+    "--state-dir /tmp/serve-day --kill-at snapshot:2 --kill-mode sigkill": (
+        "CI serve-smoke job (real SIGKILL + restart)"
+    ),
+    "python -m repro serve --config examples/configs/serve_smoke.json "
+    "--trace examples/traces/sample_day.jsonl --limit 12 "
+    "--state-dir /tmp/serve-day --out /tmp/serve-day/payload.json": (
+        "CI serve-smoke job (recovered-run byte compare)"
     ),
 }
 
@@ -96,13 +127,17 @@ class TestDocsExist:
         assert "brain.md" in (DOCS / "faults.md").read_text()
         assert "faults.md" in (DOCS / "brain.md").read_text()
         assert "scenarios.md" in (DOCS / "brain.md").read_text()
+        assert "serve.md" in (DOCS / "scenarios.md").read_text()
+        assert "faults.md" in (DOCS / "serve.md").read_text()
+        assert "traces.md" in (DOCS / "serve.md").read_text()
+        assert "serve.md" in (DOCS / "architecture.md").read_text()
 
     def test_architecture_has_mermaid_subsystem_map(self):
         text = (DOCS / "architecture.md").read_text()
         assert "```mermaid" in text
         for subsystem in ("repro.api", "repro.sched", "repro.elastic",
                           "repro.comm", "repro.cluster", "repro.perf",
-                          "repro.faults", "repro.brain"):
+                          "repro.faults", "repro.brain", "repro.serve"):
             assert subsystem in text, subsystem
 
     def test_docs_reference_only_existing_paths(self):

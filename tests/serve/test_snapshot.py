@@ -1,0 +1,116 @@
+"""Double-buffered snapshots: CRC verification, slots, torn-write fallback."""
+
+import pytest
+
+from repro.serve.snapshot import (
+    SLOT_NAMES,
+    SnapshotCorruptError,
+    SnapshotStore,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.train.checkpoint import CheckpointCorruptError
+
+
+class TestOneFile:
+    def test_roundtrip_meta_and_state(self, tmp_path):
+        path = tmp_path / "s.bin"
+        state = {"records": {"j": [1, 2, 3]}, "now": 42.5}
+        write_snapshot(path, state, {"applied_seq": 7})
+        meta, loaded = read_snapshot(path)
+        assert meta == {"applied_seq": 7}
+        assert loaded == state
+
+    def test_shared_references_survive_pickling(self, tmp_path):
+        path = tmp_path / "s.bin"
+        shared = {"name": "job"}
+        write_snapshot(path, {"a": shared, "b": shared}, {"applied_seq": 1})
+        _, loaded = read_snapshot(path)
+        assert loaded["a"] is loaded["b"]  # one object graph, not two copies
+
+    def test_byte_flip_fails_crc_before_unpickling(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_snapshot(path, {"x": 1}, {"applied_seq": 1})
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError, match="CRC32"):
+            read_snapshot(path)
+
+    def test_truncation_mid_file_is_detected(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_snapshot(path, {"x": list(range(100))}, {"applied_seq": 1})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotCorruptError, match="truncated"):
+            read_snapshot(path)
+
+    def test_tear_after_writes_a_real_torn_file(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_snapshot(path, {"x": 1}, {"applied_seq": 1}, tear_after=0.5)
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "s.bin"
+        path.write_bytes(b"NOTSNAPS" + b"\x00" * 64)
+        with pytest.raises(SnapshotCorruptError, match="header"):
+            read_snapshot(path)
+
+    def test_corrupt_error_is_a_checkpoint_corrupt_error(self):
+        # Callers that already handle corrupt training checkpoints get
+        # corrupt snapshots for free.
+        assert issubclass(SnapshotCorruptError, CheckpointCorruptError)
+
+
+class TestStore:
+    def test_saves_alternate_between_slots(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        first = store.save({"n": 1}, {"applied_seq": 1})
+        second = store.save({"n": 2}, {"applied_seq": 2})
+        third = store.save({"n": 3}, {"applied_seq": 3})
+        assert first.name != second.name
+        assert third.name == first.name  # overwrote the stale slot
+        assert {first.name, second.name} == set(SLOT_NAMES)
+
+    def test_load_prefers_newest_applied_seq(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"n": 1}, {"applied_seq": 1})
+        store.save({"n": 2}, {"applied_seq": 2})
+        loaded = store.load()
+        assert loaded.state == {"n": 2}
+        assert loaded.meta["applied_seq"] == 2
+        assert loaded.corrupt_slots == 0
+
+    def test_corrupt_newest_falls_back_to_previous_slot(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"n": 1}, {"applied_seq": 1})
+        newest = store.save({"n": 2}, {"applied_seq": 2})
+        # Truncate the newest snapshot mid-file — a torn write, not just
+        # a byte flip.
+        data = newest.read_bytes()
+        newest.write_bytes(data[: len(data) // 2])
+        loaded = store.load()
+        assert loaded.state == {"n": 1}
+        assert loaded.slot != newest.name
+        assert loaded.corrupt_slots == 1  # the fallback is reported
+
+    def test_both_slots_corrupt_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for seq in (1, 2):
+            path = store.save({"n": seq}, {"applied_seq": seq})
+            path.write_bytes(path.read_bytes()[:10])
+        assert store.load() is None  # caller replays the journal from genesis
+
+    def test_empty_store_returns_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load() is None
+
+    def test_target_slot_overwrites_corrupt_slot_first(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save({"n": 1}, {"applied_seq": 1})
+        newest = store.save({"n": 2}, {"applied_seq": 2})
+        stale = store.save({"n": 3}, {"applied_seq": 3})
+        assert stale.name != newest.name
+        # Corrupting the newest (seq 3) makes its slot the next target.
+        stale.write_bytes(stale.read_bytes()[:10])
+        assert store.target_slot() == stale

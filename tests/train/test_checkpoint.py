@@ -192,3 +192,38 @@ class TestValidation:
         )
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(other, path)
+
+
+class TestTornWrites:
+    """A kill mid-``save_checkpoint`` must never restore silently."""
+
+    def _checkpoint(self, tmp_path, rng):
+        x, y = make_spiral_classification(512, num_classes=4, rng=rng)
+        trainer = make_trainer()
+        for step in range(2):
+            trainer.train_step(batches_for(x, y, step))
+        return trainer, save_checkpoint(trainer, tmp_path / "torn")
+
+    def test_truncated_checkpoint_raises_typed_corruption(self, tmp_path, rng):
+        from repro.train.checkpoint import CheckpointCorruptError
+
+        _, path = self._checkpoint(tmp_path, rng)
+        data = path.read_bytes()
+        # A torn write: the front half of the archive, not a byte flip.
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(make_trainer(), path)
+
+    def test_failed_load_leaves_the_trainer_untouched(self, tmp_path, rng):
+        from repro.train.checkpoint import CheckpointCorruptError
+
+        _, path = self._checkpoint(tmp_path, rng)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+        fresh = make_trainer(seed=3)
+        before = {name: value.copy() for name, value in fresh.params.items()}
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(fresh, path)
+        # The fallback contract: caller can roll back to the previous
+        # slot because the failed restore mutated nothing.
+        for name, value in before.items():
+            np.testing.assert_array_equal(fresh.params[name], value)
